@@ -1,0 +1,155 @@
+// DDSS operation microbenchmarks beyond Figure 3a: get() latency per
+// coherence model, the IPC-virtualization overhead, placement policies,
+// and the global memory aggregator's striping bandwidth.
+#include <benchmark/benchmark.h>
+
+#include "common/table.hpp"
+#include "ddss/aggregator.hpp"
+#include "ddss/ddss.hpp"
+
+namespace {
+
+using namespace dcs;
+
+const std::vector<ddss::Coherence> kModels = {
+    ddss::Coherence::kNull,    ddss::Coherence::kRead,
+    ddss::Coherence::kWrite,   ddss::Coherence::kStrict,
+    ddss::Coherence::kVersion, ddss::Coherence::kDelta,
+    ddss::Coherence::kTemporal};
+
+double get_latency_us(ddss::Coherence model, std::size_t bytes,
+                      std::uint32_t process_id = 0) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 2, .mem_per_node = 4u << 20});
+  verbs::Network net(fab);
+  ddss::Ddss substrate(net);
+  substrate.start();
+  double out = 0;
+  eng.spawn([](ddss::Ddss& d, sim::Engine& e, ddss::Coherence m,
+               std::size_t n, std::uint32_t proc, double& us)
+                -> sim::Task<void> {
+    auto writer = d.client(0);
+    auto reader = d.client(0, proc);
+    auto a = co_await writer.allocate(n, m, ddss::Placement::kRemote);
+    std::vector<std::byte> v(n, std::byte{1});
+    co_await writer.put(a, v);
+    std::vector<std::byte> buf(n);
+    co_await reader.get(a, buf);  // warm (temporal: populates the cache)
+    const auto t0 = e.now();
+    constexpr int kIters = 20;
+    for (int i = 0; i < kIters; ++i) co_await reader.get(a, buf);
+    us = to_micros(e.now() - t0) / kIters;
+  }(substrate, eng, model, bytes, process_id, out));
+  eng.run();
+  return out;
+}
+
+void print_get_table() {
+  std::vector<std::string> header = {"msg size"};
+  for (const auto m : kModels) header.push_back(ddss::to_string(m));
+  Table table(header);
+  for (const std::size_t size : {64ul, 4096ul, 65536ul}) {
+    std::vector<double> row;
+    for (const auto m : kModels) row.push_back(get_latency_us(m, size));
+    table.add_row(std::to_string(size) + " B", row, 2);
+  }
+  table.print(
+      "DDSS get() latency (us) per coherence model "
+      "(Temporal ~0: served from the local TTL cache)");
+}
+
+void print_ipc_table() {
+  Table table({"accessor", "get latency (us)", "overhead"});
+  const double owner = get_latency_us(ddss::Coherence::kNull, 1024, 0);
+  const double other = get_latency_us(ddss::Coherence::kNull, 1024, 7);
+  table.add_row({"substrate-owner process", Table::fmt(owner, 2), "-"});
+  table.add_row({"other local process (IPC hop)", Table::fmt(other, 2),
+                 "+" + Table::fmt(other - owner, 2) + " us"});
+  table.print("DDSS IPC management — per-op cost of process virtualization");
+}
+
+void print_placement_table() {
+  Table table({"policy", "allocation latency (us)", "homes used (of 4)"});
+  for (const auto policy :
+       {ddss::Placement::kLocal, ddss::Placement::kRemote,
+        ddss::Placement::kRoundRobin, ddss::Placement::kLeastLoaded}) {
+    sim::Engine eng;
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 4, .mem_per_node = 4u << 20});
+    verbs::Network net(fab);
+    ddss::Ddss substrate(net);
+    substrate.start();
+    double us = 0;
+    std::set<fabric::NodeId> homes;
+    eng.spawn([](ddss::Ddss& d, sim::Engine& e, ddss::Placement p,
+                 double& lat, std::set<fabric::NodeId>& hs)
+                  -> sim::Task<void> {
+      auto c = d.client(0);
+      const auto t0 = e.now();
+      for (int i = 0; i < 12; ++i) {
+        auto a = co_await c.allocate(4096, ddss::Coherence::kNull, p);
+        hs.insert(a.home);
+      }
+      lat = to_micros(e.now() - t0) / 12;
+    }(substrate, eng, policy, us, homes));
+    eng.run();
+    const char* name = policy == ddss::Placement::kLocal      ? "local"
+                       : policy == ddss::Placement::kRemote   ? "remote"
+                       : policy == ddss::Placement::kRoundRobin
+                           ? "round-robin"
+                           : "least-loaded";
+    table.add_row({name, Table::fmt(us, 1), std::to_string(homes.size())});
+  }
+  table.print("DDSS data placement policies — allocation cost and spread");
+}
+
+void print_aggregator_table() {
+  Table table({"extent layout", "1 MB read (us)", "effective GB/s"});
+  for (const bool striped : {false, true}) {
+    sim::Engine eng;
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 5, .mem_per_node = 4u << 20});
+    verbs::Network net(fab);
+    ddss::GlobalAggregator agg(net, {1, 2, 3, 4}, {.stripe_bytes = 64 * 1024});
+    double us = 0;
+    eng.spawn([](ddss::GlobalAggregator& a, sim::Engine& e, bool s,
+                 double& lat) -> sim::Task<void> {
+      auto extent = co_await a.allocate(1u << 20, s);
+      std::vector<std::byte> buf(1u << 20);
+      const auto t0 = e.now();
+      co_await a.read(0, extent, 0, buf);
+      lat = to_micros(e.now() - t0);
+      co_await a.release(std::move(extent));
+    }(agg, eng, striped, us));
+    eng.run();
+    table.add_row({striped ? "striped (64 KB across 4 donors)" : "linear",
+                   Table::fmt(us, 1),
+                   Table::fmt((1.0 / 1024.0) / (us * 1e-6), 2)});
+  }
+  table.print(
+      "Global memory aggregator — striping turns capacity aggregation into "
+      "bandwidth aggregation");
+}
+
+void BM_DdssGet(benchmark::State& state) {
+  const auto model = kModels[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    state.SetIterationTime(get_latency_us(model, 4096) * 1e-6);
+  }
+  state.SetLabel(ddss::to_string(model));
+}
+BENCHMARK(BM_DdssGet)->DenseRange(0, 6)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_get_table();
+  print_ipc_table();
+  print_placement_table();
+  print_aggregator_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

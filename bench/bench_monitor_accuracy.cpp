@@ -1,0 +1,154 @@
+// E7 — Figure 8a: accuracy of connection/thread-count monitoring under a
+// loaded back-end, for Socket-Sync, Socket-Async, RDMA-Sync, RDMA-Async.
+//
+// Paper shape: RDMA-based schemes report (almost) no deviation from the
+// actual thread count; socket-based schemes spike under load because the
+// monitoring process waits in the run queue.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "monitor/monitor.hpp"
+
+namespace {
+
+using namespace dcs;
+using monitor::MonScheme;
+
+const std::vector<MonScheme> kSchemes = {
+    MonScheme::kSocketAsync, MonScheme::kSocketSync, MonScheme::kRdmaAsync,
+    MonScheme::kRdmaSync};
+
+struct AccuracyResult {
+  std::vector<double> deviation_series;  // per 1 ms sample
+  double mean_abs_dev;
+  double max_abs_dev;
+};
+
+AccuracyResult measure(MonScheme scheme) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 2, .cores_per_node = 1});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  monitor::ResourceMonitor mon(net, tcp, 0, {1}, scheme,
+                               {.async_interval = milliseconds(2)});
+  mon.start();
+
+  // Bursty thread churn on the back-end: a new phase every 15 ms with a
+  // random number of CPU-bound jobs.
+  eng.spawn([](sim::Engine& e, fabric::Fabric& f) -> sim::Task<void> {
+    Rng rng(77);
+    for (int phase = 0; phase < 60; ++phase) {
+      const auto jobs = rng.uniform(0, 8);
+      for (std::uint64_t j = 0; j < jobs; ++j) {
+        e.spawn(f.node(1).execute(milliseconds(15)));
+      }
+      co_await e.delay(milliseconds(15));
+    }
+  }(eng, fab));
+
+  AccuracyResult result{{}, 0, 0};
+  eng.spawn([](sim::Engine& e, fabric::Fabric& f,
+               monitor::ResourceMonitor& m,
+               AccuracyResult& out) -> sim::Task<void> {
+    co_await e.delay(milliseconds(10));  // let daemons settle
+    RunningStat dev;
+    // A slow (loaded) scheme completes fewer samples inside the window;
+    // stats are updated per sample so partial runs report correctly.
+    for (int i = 0; i < 400; ++i) {
+      co_await e.delay(milliseconds(1));
+      const auto sample = co_await m.query(1);
+      const auto actual = f.node(1).kernel_stats().threads;
+      const double d = std::abs(static_cast<double>(sample.stats.threads) -
+                                static_cast<double>(actual));
+      out.deviation_series.push_back(d);
+      dev.add(d);
+      out.mean_abs_dev = dev.mean();
+      out.max_abs_dev = dev.max();
+    }
+  }(eng, fab, mon, result));
+  eng.run_until(milliseconds(900));
+  return result;
+}
+
+void print_fig8a() {
+  Table table({"scheme", "mean |deviation|", "max |deviation|",
+               "% samples exact"});
+  for (const auto scheme : kSchemes) {
+    const auto r = measure(scheme);
+    std::size_t exact = 0;
+    for (const double d : r.deviation_series) exact += (d < 0.5);
+    table.add_row(
+        {monitor::to_string(scheme), Table::fmt(r.mean_abs_dev, 3),
+         Table::fmt(r.max_abs_dev, 1),
+         Table::fmt(100.0 * static_cast<double>(exact) /
+                        static_cast<double>(r.deviation_series.size()),
+                    1)});
+  }
+  table.print(
+      "Figure 8a — deviation of reported vs actual thread count under "
+      "bursty load (paper: RDMA schemes ~zero deviation)");
+}
+
+// Intrusiveness ([19] measured this directly): CPU consumed on the
+// *monitored* node per monitoring frequency.  RDMA-based monitoring costs
+// the target nothing at any rate; socket daemons charge kernel+daemon CPU
+// per sample, which is why classic systems monitored coarsely.
+void print_intrusiveness() {
+  Table table({"scheme", "1 ms sampling", "10 ms sampling",
+               "100 ms sampling"});
+  for (const auto scheme :
+       {MonScheme::kSocketSync, MonScheme::kRdmaSync}) {
+    std::vector<std::string> row = {monitor::to_string(scheme)};
+    for (const SimNanos period :
+         {milliseconds(1), milliseconds(10), milliseconds(100)}) {
+      sim::Engine eng;
+      fabric::Fabric fab(eng, fabric::FabricParams{},
+                         {.num_nodes = 2, .cores_per_node = 1});
+      verbs::Network net(fab);
+      sockets::TcpNetwork tcp(fab);
+      monitor::ResourceMonitor mon(net, tcp, 0, {1}, scheme);
+      mon.start();
+      eng.spawn([](sim::Engine& e, monitor::ResourceMonitor& m,
+                   SimNanos p) -> sim::Task<void> {
+        while (e.now() < seconds(1)) {
+          co_await e.delay(p);
+          (void)co_await m.query(1);
+        }
+      }(eng, mon, period));
+      eng.run_until(seconds(1));
+      const double pct = 100.0 * fab.node(1).utilization();
+      row.push_back(Table::fmt(pct, 2) + " % CPU");
+    }
+    table.add_row(row);
+  }
+  table.print(
+      "Monitoring intrusiveness — target-node CPU consumed per sampling "
+      "rate (kernel-assisted RDMA: zero at any rate)");
+}
+
+void BM_MonitorAccuracy(benchmark::State& state) {
+  const auto scheme = kSchemes[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const auto r = measure(scheme);
+    state.counters["mean_abs_dev"] = r.mean_abs_dev;
+    state.SetIterationTime(0.25);  // 250 ms of virtual monitoring
+  }
+  state.SetLabel(monitor::to_string(scheme));
+}
+BENCHMARK(BM_MonitorAccuracy)
+    ->DenseRange(0, 3)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig8a();
+  print_intrusiveness();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

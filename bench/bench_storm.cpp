@@ -1,0 +1,72 @@
+// E2 — Figure 3b: STORM vs STORM-DDSS query execution time vs record count.
+//
+// Paper shape: the DDSS control plane wins everywhere (~19 % reported);
+// both curves grow with record count.
+#include <benchmark/benchmark.h>
+
+#include "common/table.hpp"
+#include "storm/storm.hpp"
+
+namespace {
+
+using namespace dcs;
+
+const std::vector<std::uint64_t> kRecordCounts = {1000, 10000, 100000,
+                                                  1000000};
+
+double query_time_ms(storm::ControlPlane plane, std::uint64_t records) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 5, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  storm::StormCluster cluster(net, tcp, plane, 0, 1, {2, 3, 4});
+  eng.spawn(cluster.start());
+  eng.run();
+  storm::QueryResult result;
+  eng.spawn([](storm::StormCluster& c, std::uint64_t n,
+               storm::QueryResult& out) -> sim::Task<void> {
+    out = co_await c.run_query(n);
+  }(cluster, records, result));
+  eng.run();
+  return to_millis(result.elapsed);
+}
+
+void print_fig3b() {
+  Table table({"# records", "STORM (ms)", "STORM-DDSS (ms)", "improvement"});
+  for (const auto records : kRecordCounts) {
+    const double trad = query_time_ms(storm::ControlPlane::kSockets, records);
+    const double ddss = query_time_ms(storm::ControlPlane::kDdss, records);
+    const double improvement = 100.0 * (1.0 - ddss / trad);
+    table.add_row({std::to_string(records), Table::fmt(trad, 2),
+                   Table::fmt(ddss, 2), Table::fmt(improvement, 1) + " %"});
+  }
+  table.print(
+      "Figure 3b — STORM query execution time vs record count "
+      "(paper: ~19 % improvement with DDSS)");
+}
+
+void BM_StormQuery(benchmark::State& state) {
+  const auto plane = state.range(0) == 0 ? storm::ControlPlane::kSockets
+                                         : storm::ControlPlane::kDdss;
+  const auto records = static_cast<std::uint64_t>(state.range(1));
+  for (auto _ : state) {
+    state.SetIterationTime(query_time_ms(plane, records) * 1e-3);
+  }
+  state.SetLabel(std::string(storm::to_string(plane)) + "/" +
+                 std::to_string(records));
+}
+BENCHMARK(BM_StormQuery)
+    ->ArgsProduct({{0, 1}, {1000, 100000}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig3b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

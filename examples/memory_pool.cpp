@@ -1,0 +1,79 @@
+// Pooling idle cluster memory: the global aggregator stripes one logical
+// buffer across four donor nodes (bandwidth + capacity aggregation), and
+// the remote block cache turns donated memory into a file-cache extension
+// that replaces disk reads with RDMA reads.
+//
+//   $ ./examples/memory_pool
+#include <cstdio>
+
+#include "cache/remote_pager.hpp"
+#include "common/zipf.hpp"
+#include "ddss/aggregator.hpp"
+
+using namespace dcs;
+
+namespace {
+
+sim::Task<void> aggregator_demo(sim::Engine& eng, verbs::Network& net) {
+  std::printf("-- global memory aggregator --\n");
+  ddss::GlobalAggregator agg(net, {1, 2, 3, 4}, {.stripe_bytes = 64 * 1024});
+  std::printf("donors: 4 nodes, %zu MB free in the pool\n",
+              agg.free_bytes() >> 20);
+
+  auto extent = co_await agg.allocate(4u << 20, /*striped=*/true);
+  std::printf("allocated a 4 MB logical extent in %zu striped pieces\n",
+              extent.pieces.size());
+
+  std::vector<std::byte> buf(4u << 20, std::byte{0x3C});
+  auto t0 = eng.now();
+  co_await agg.write(0, extent, 0, buf);
+  const auto write_us = to_micros(eng.now() - t0);
+  t0 = eng.now();
+  co_await agg.read(0, extent, 0, buf);
+  const auto read_us = to_micros(eng.now() - t0);
+  std::printf("4 MB write: %.0f us (%.2f GB/s), read: %.0f us (%.2f GB/s)\n",
+              write_us, 4.0 / 1024 / (write_us * 1e-6),
+              read_us, 4.0 / 1024 / (read_us * 1e-6));
+  co_await agg.release(std::move(extent));
+  std::printf("released; pool free again: %zu MB\n\n", agg.free_bytes() >> 20);
+}
+
+sim::Task<void> pager_demo(sim::Engine& eng, verbs::Network& net) {
+  std::printf("-- remote-memory file cache --\n");
+  cache::RemoteBlockCache pager(net, 0, {1, 2},
+                                {.block_bytes = 16384,
+                                 .local_capacity = 256 * 1024,
+                                 .remote_capacity_per_server = 2u << 20});
+  Rng rng(7);
+  ZipfSampler zipf(120, 0.8);  // 1.9 MB working set, 256 KB local cache
+  const auto t0 = eng.now();
+  for (int i = 0; i < 800; ++i) {
+    (void)co_await pager.read_block(zipf.sample(rng));
+  }
+  const auto& s = pager.stats();
+  std::printf("800 Zipf(0.8) block reads over a 1.9 MB working set\n");
+  std::printf("  local hits : %5llu\n",
+              static_cast<unsigned long long>(s.local_hits));
+  std::printf("  remote hits: %5llu   (~10-50 us each, donor CPU idle)\n",
+              static_cast<unsigned long long>(s.remote_hits));
+  std::printf("  disk reads : %5llu   (~4-5 ms each)\n",
+              static_cast<unsigned long long>(s.disk_reads));
+  std::printf("  mean read  : %.0f us\n",
+              to_micros(eng.now() - t0) / 800.0);
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams::infiniband_ddr(),
+                     {.num_nodes = 5, .cores_per_node = 2,
+                      .mem_per_node = 8u << 20});
+  verbs::Network net(fab);
+  eng.spawn([](sim::Engine& e, verbs::Network& n) -> sim::Task<void> {
+    co_await aggregator_demo(e, n);
+    co_await pager_demo(e, n);
+  }(eng, net));
+  eng.run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// An operations dashboard: four app servers run a bursty workload while a
+// front-end monitors them with kernel-assisted RDMA reads (zero target
+// CPU) and a fine-grained reconfiguration manager shifts nodes between two
+// hosted sites as demand moves.  Prints a timeline of load and the
+// reconfiguration event log.
+//
+//   $ ./examples/ops_dashboard
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "reconfig/reconfig.hpp"
+
+using namespace dcs;
+
+namespace {
+
+constexpr SimNanos kRunFor = seconds(3);
+
+sim::Task<void> site_traffic(sim::Engine& eng, fabric::Fabric& fab,
+                             reconfig::ReconfigService& svc,
+                             std::uint32_t site, SimNanos busy_from,
+                             SimNanos busy_until) {
+  Rng rng(site + 99);
+  while (eng.now() < kRunFor) {
+    const bool busy = eng.now() >= busy_from && eng.now() < busy_until;
+    const int burst = busy ? 3 : 1;
+    for (int i = 0; i < burst; ++i) {
+      const auto server = co_await svc.pick_server(site);
+      eng.spawn(fab.node(server).execute(microseconds(700)));
+    }
+    co_await eng.delay(microseconds(busy ? 900 : 2500));
+  }
+}
+
+sim::Task<void> dashboard(sim::Engine& eng, fabric::Fabric& fab,
+                          monitor::ResourceMonitor& mon,
+                          reconfig::ReconfigService& svc) {
+  std::printf("  time | node1 node2 node3 node4 | site of each node\n");
+  std::printf("  -----+-------------------------+------------------\n");
+  while (eng.now() < kRunFor) {
+    co_await eng.delay(milliseconds(250));
+    std::printf("%5.0fms |", to_millis(eng.now()));
+    for (fabric::NodeId n = 1; n <= 4; ++n) {
+      const auto sample = co_await mon.query(n);
+      std::printf(" %5llu",
+                  static_cast<unsigned long long>(sample.stats.runnable));
+    }
+    std::printf(" |");
+    for (fabric::NodeId n = 1; n <= 4; ++n) {
+      std::printf("  %c", 'A' + static_cast<char>(svc.site_of(n)));
+    }
+    std::printf("\n");
+  }
+  (void)fab;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 5, .cores_per_node = 1});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+
+  monitor::ResourceMonitor mon(net, tcp, 0, {1, 2, 3, 4},
+                               monitor::MonScheme::kRdmaSync);
+  mon.start();
+  reconfig::ReconfigService svc(
+      net, mon, 0, {1, 2, 3, 4}, /*sites=*/2,
+      {.monitor_interval = milliseconds(50), .history_window = 2});
+  svc.start();
+
+  std::printf("two hosted sites (A, B) on four app servers; site A spikes "
+              "between 500 ms and 2000 ms\n\n");
+  eng.spawn(site_traffic(eng, fab, svc, 0, milliseconds(500),
+                         milliseconds(2000)));
+  eng.spawn(site_traffic(eng, fab, svc, 1, kRunFor, kRunFor));  // steady
+  eng.spawn(dashboard(eng, fab, mon, svc));
+  eng.run_until(kRunFor + milliseconds(1));
+
+  std::printf("\nreconfiguration events:\n");
+  for (const auto& ev : svc.events()) {
+    std::printf("  %6.0f ms: node %u moved %c -> %c\n", to_millis(ev.at),
+                ev.node, 'A' + static_cast<char>(ev.from_site),
+                'A' + static_cast<char>(ev.to_site));
+  }
+  if (svc.events().empty()) std::printf("  (none)\n");
+  std::printf("\nmonitoring cost on app servers: zero target-CPU "
+              "(%llu one-sided reads issued by the front-end)\n",
+              static_cast<unsigned long long>(net.hca(0).one_sided_ops()));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Query processing over the data-center: runs the same scan workload
+// through traditional (sockets) STORM and STORM-DDSS, showing where the
+// one-sided control plane wins and how the gap evolves with scale.
+//
+//   $ ./examples/storm_queries
+#include <cstdio>
+
+#include "storm/storm.hpp"
+
+using namespace dcs;
+
+namespace {
+
+storm::QueryResult run_one(storm::ControlPlane plane, std::uint64_t records) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  storm::StormCluster cluster(net, tcp, plane, 0, 1, {2, 3, 4, 5});
+  eng.spawn(cluster.start());
+  eng.run();
+  storm::QueryResult result;
+  eng.spawn([](storm::StormCluster& c, std::uint64_t n,
+               storm::QueryResult& out) -> sim::Task<void> {
+    out = co_await c.run_query(n);
+  }(cluster, records, result));
+  eng.run();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("select-query over records partitioned across 4 data nodes\n");
+  std::printf("(2%% selectivity, per-batch shared-state progress updates)\n\n");
+  std::printf("%12s %14s %16s %12s %14s\n", "records", "STORM (ms)",
+              "STORM-DDSS (ms)", "speedup", "control ops");
+  for (const std::uint64_t records :
+       {2000ull, 20000ull, 200000ull, 2000000ull}) {
+    const auto trad = run_one(storm::ControlPlane::kSockets, records);
+    const auto ddss = run_one(storm::ControlPlane::kDdss, records);
+    std::printf("%12llu %14.2f %16.2f %11.2fx %14llu\n",
+                static_cast<unsigned long long>(records),
+                to_millis(trad.elapsed), to_millis(ddss.elapsed),
+                static_cast<double>(trad.elapsed) /
+                    static_cast<double>(ddss.elapsed),
+                static_cast<unsigned long long>(ddss.control_ops));
+  }
+  std::printf(
+      "\nthe data plane is identical; the gap is purely the shared-state\n"
+      "path: TCP round trips to a metadata daemon vs one-sided DDSS puts.\n");
+  return 0;
+}

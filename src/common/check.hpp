@@ -1,0 +1,34 @@
+// Lightweight always-on invariant checking.
+//
+// DCS_CHECK is used for programmer-error invariants in the simulator and the
+// service implementations.  Simulation results are only meaningful when the
+// model's invariants hold, so these stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcs::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "DCS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dcs::detail
+
+#define DCS_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      ::dcs::detail::check_failed(#expr, __FILE__, __LINE__, nullptr);  \
+    }                                                                   \
+  } while (false)
+
+#define DCS_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      ::dcs::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,30 @@
+// Minimal leveled logging. Off by default so benchmarks stay quiet;
+// tests and examples can raise the level for protocol traces.
+#pragma once
+
+#include <string_view>
+
+namespace dcs {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Global log threshold (simulator is single-threaded; plain global is fine).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog_line(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}
+
+#define DCS_LOG(level, ...)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) <= static_cast<int>(::dcs::log_level())) \
+      ::dcs::detail::vlog_line(level, __VA_ARGS__);                  \
+  } while (false)
+
+#define DCS_LOG_INFO(...) DCS_LOG(::dcs::LogLevel::kInfo, __VA_ARGS__)
+#define DCS_LOG_DEBUG(...) DCS_LOG(::dcs::LogLevel::kDebug, __VA_ARGS__)
+#define DCS_LOG_TRACE(...) DCS_LOG(::dcs::LogLevel::kTrace, __VA_ARGS__)
+
+}  // namespace dcs

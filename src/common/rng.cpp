@@ -1,0 +1,15 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace dcs {
+
+double Rng::exponential(double mean) {
+  DCS_CHECK(mean > 0.0);
+  double u = uniform_double();
+  // Guard log(0); uniform_double() returns [0,1).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace dcs

@@ -1,0 +1,29 @@
+// Time and size unit helpers for the virtual-time simulator.
+//
+// All simulated time is carried as unsigned 64-bit nanoseconds (sim::Time).
+// These constexpr helpers keep call sites free of magic multipliers.
+#pragma once
+
+#include <cstdint>
+
+namespace dcs {
+
+using SimNanos = std::uint64_t;
+
+constexpr SimNanos nanoseconds(std::uint64_t v) { return v; }
+constexpr SimNanos microseconds(std::uint64_t v) { return v * 1'000ULL; }
+constexpr SimNanos milliseconds(std::uint64_t v) { return v * 1'000'000ULL; }
+constexpr SimNanos seconds(std::uint64_t v) { return v * 1'000'000'000ULL; }
+
+constexpr double to_micros(SimNanos t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_millis(SimNanos t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_secs(SimNanos t) { return static_cast<double>(t) / 1e9; }
+
+constexpr std::size_t operator""_KB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024;
+}
+constexpr std::size_t operator""_MB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024 * 1024;
+}
+
+}  // namespace dcs

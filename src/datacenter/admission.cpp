@@ -1,0 +1,46 @@
+#include "datacenter/admission.hpp"
+
+#include <limits>
+
+namespace dcs::datacenter {
+
+AdmissionController::AdmissionController(verbs::Network& net,
+                                         monitor::ResourceMonitor& mon,
+                                         AdmissionConfig config)
+    : net_(net), mon_(mon), config_(config) {}
+
+sim::Task<bool> AdmissionController::offer(SimNanos cpu,
+                                           std::size_t reply_bytes) {
+  auto& fab = net_.fabric();
+  const auto& targets = mon_.targets();
+  const SimNanos t0 = fab.engine().now();
+
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    // Find the least-loaded back-end (rotating tie-break).
+    const std::size_t offset = rr_++;
+    double best = std::numeric_limits<double>::infinity();
+    fabric::NodeId chosen = targets[offset % targets.size()];
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const auto t = targets[(offset + i) % targets.size()];
+      const double load = co_await mon_.load_estimate(t);
+      if (load < best) {
+        best = load;
+        chosen = t;
+      }
+    }
+    if (best < config_.max_load_per_node) {
+      ++stats_.admitted;
+      co_await fab.tcp_wire_transfer(mon_.frontend(), chosen, 256);
+      co_await fab.node(chosen).execute(cpu);
+      co_await fab.tcp_wire_transfer(chosen, mon_.frontend(), reply_bytes);
+      stats_.admitted_latency_us.add(to_micros(fab.engine().now() - t0));
+      co_return true;
+    }
+    ++stats_.rejected;
+    co_await fab.engine().delay(config_.retry_backoff);
+  }
+  ++stats_.dropped;
+  co_return false;
+}
+
+}  // namespace dcs::datacenter

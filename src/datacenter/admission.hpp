@@ -1,0 +1,60 @@
+// Admission control for overload scenarios — named in the paper's opening
+// ("controlling overload scenarios ... becoming a common requirement") and
+// built here on the monitoring primitive: the front-end admits a request
+// only while the back-end tier has headroom, so admitted requests keep a
+// bounded latency instead of everything collapsing together.
+//
+// Two admission policies mirror the monitoring schemes they rely on:
+// an accurate RDMA-fed view admits right up to the knee; a stale view
+// oscillates (admits bursts it shouldn't, rejects when it needn't).
+#pragma once
+
+#include "common/stats.hpp"
+#include "monitor/monitor.hpp"
+
+namespace dcs::datacenter {
+
+struct AdmissionConfig {
+  /// Admit while estimated run-queue depth per node is below this.
+  double max_load_per_node = 4.0;
+  /// Retry-after hint: rejected clients back off this long.
+  SimNanos retry_backoff = milliseconds(2);
+  /// Max admission retries before a request counts as dropped.
+  int max_retries = 3;
+};
+
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;   // rejection events (incl. retries)
+  std::uint64_t dropped = 0;    // gave up after max_retries
+  LatencySamples admitted_latency_us;
+
+  double drop_rate() const {
+    const auto offered = admitted + dropped;
+    return offered > 0
+               ? static_cast<double>(dropped) / static_cast<double>(offered)
+               : 0.0;
+  }
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(verbs::Network& net, monitor::ResourceMonitor& mon,
+                      AdmissionConfig config = {});
+
+  /// Runs one request of `cpu` on the least-loaded back-end if the tier
+  /// has headroom; otherwise backs off and retries, finally dropping.
+  /// Returns true when the request was served.
+  sim::Task<bool> offer(SimNanos cpu, std::size_t reply_bytes);
+
+  const AdmissionStats& stats() const { return stats_; }
+
+ private:
+  verbs::Network& net_;
+  monitor::ResourceMonitor& mon_;
+  AdmissionConfig config_;
+  AdmissionStats stats_;
+  std::size_t rr_ = 0;
+};
+
+}  // namespace dcs::datacenter

@@ -1,0 +1,68 @@
+// Backend tier: origin servers that generate/serve documents.
+//
+// A backend daemon accepts TCP connections from proxies; each document
+// request costs backend CPU (request parsing + content generation, with a
+// size-dependent component) before the reply goes out.  This is the
+// cache-miss penalty every caching scheme in Section 5.1 tries to avoid.
+#pragma once
+
+#include <vector>
+
+#include "datacenter/document.hpp"
+#include "sockets/tcp.hpp"
+#include "verbs/verbs.hpp"
+
+namespace dcs::datacenter {
+
+using fabric::NodeId;
+
+/// Proxy<->backend transport ([5]: "SDP over InfiniBand in clusters — is
+/// it beneficial?").  kTcp is the host-stack baseline; kSdp replaces it
+/// with verbs messaging for the request and a zero-copy rendezvous for the
+/// body, removing the kernel per-message CPU and payload copies.
+enum class BackendTransport { kTcp, kSdp };
+
+struct BackendConfig {
+  SimNanos request_cpu = microseconds(150);  // parse + app logic per request
+  double generate_bytes_per_ns = 0.4;        // dynamic content generation rate
+  std::uint16_t port = 8080;
+  BackendTransport transport = BackendTransport::kTcp;
+};
+
+class BackendService {
+ public:
+  BackendService(sockets::TcpNetwork& tcp, const DocumentStore& store,
+                 std::vector<NodeId> backends, BackendConfig config = {});
+  /// SDP-transport constructor (needs the verbs network).
+  BackendService(sockets::TcpNetwork& tcp, verbs::Network& net,
+                 const DocumentStore& store, std::vector<NodeId> backends,
+                 BackendConfig config);
+
+  /// Spawns accept loops on every backend node.
+  void start();
+
+  /// Proxy-side helper: fetch a document from the least-loaded backend over
+  /// a fresh TCP exchange.  Returns the document content.
+  sim::Task<std::vector<std::byte>> fetch(NodeId proxy, DocId id);
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  const std::vector<NodeId>& backends() const { return backends_; }
+
+ private:
+  sim::Task<void> accept_loop(NodeId node);
+  sim::Task<void> session(NodeId node, sockets::TcpConnection* conn);
+  sim::Task<void> sdp_daemon(NodeId node);
+  sim::Task<std::vector<std::byte>> fetch_sdp(NodeId proxy, DocId id,
+                                              NodeId backend);
+
+  sockets::TcpNetwork& tcp_;
+  verbs::Network* net_ = nullptr;  // non-null for the SDP transport
+  const DocumentStore& store_;
+  std::vector<NodeId> backends_;
+  BackendConfig config_;
+  std::size_t next_backend_ = 0;
+  std::uint32_t next_fetch_tag_ = 0;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace dcs::datacenter

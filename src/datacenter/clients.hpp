@@ -1,0 +1,64 @@
+// Closed-loop client farm.
+//
+// `sessions` concurrent clients connect to the proxy tier (round-robin) over
+// persistent connections and replay a request trace; each client issues its
+// next request as soon as the previous reply lands.  Produces the TPS and
+// latency numbers the paper's Figure 6 / Figure 8b report.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "datacenter/document.hpp"
+#include "sockets/tcp.hpp"
+
+namespace dcs::datacenter {
+
+using fabric::NodeId;
+
+struct ClientFarmConfig {
+  std::size_t sessions = 16;      // concurrent closed-loop clients
+  std::uint16_t port = 80;
+};
+
+struct RunStats {
+  std::uint64_t completed = 0;
+  std::uint64_t integrity_failures = 0;
+  SimNanos started_at = 0;
+  SimNanos finished_at = 0;
+  LatencySamples latency_us;
+
+  double elapsed_s() const { return to_secs(finished_at - started_at); }
+  double tps() const {
+    const double s = elapsed_s();
+    return s > 0 ? static_cast<double>(completed) / s : 0.0;
+  }
+};
+
+class ClientFarm {
+ public:
+  /// Clients run on `client_nodes` (spread round-robin) and target
+  /// `proxies`.  The trace is split contiguously across sessions.
+  ClientFarm(sockets::TcpNetwork& tcp, std::vector<NodeId> client_nodes,
+             std::vector<NodeId> proxies, const DocumentStore& store,
+             ClientFarmConfig config = {});
+
+  /// Runs the whole trace to completion; call from a spawned task or use
+  /// run_all() which spawns and returns immediately.
+  sim::Task<void> run(std::vector<DocId> trace);
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  sim::Task<void> session(NodeId client, NodeId proxy,
+                          std::vector<DocId> requests);
+
+  sockets::TcpNetwork& tcp_;
+  std::vector<NodeId> client_nodes_;
+  std::vector<NodeId> proxies_;
+  const DocumentStore& store_;
+  ClientFarmConfig config_;
+  RunStats stats_;
+};
+
+}  // namespace dcs::datacenter

@@ -1,0 +1,91 @@
+#include "datacenter/qos.hpp"
+
+namespace dcs::datacenter {
+
+QosScheduler::QosScheduler(fabric::Fabric& fab, NodeId node,
+                           std::vector<QosClassConfig> classes,
+                           std::size_t workers)
+    : fab_(fab), node_(node), classes_(std::move(classes)), workers_(workers) {
+  DCS_CHECK(!classes_.empty());
+  DCS_CHECK(workers_ > 0);
+  for (const auto& c : classes_) DCS_CHECK(c.weight > 0);
+  auto& eng = fab_.engine();
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    queues_.push_back(std::make_unique<sim::Channel<Job>>(eng));
+    deficit_.push_back(0);
+    stats_.emplace_back();
+  }
+  pending_ = std::make_unique<sim::Semaphore>(eng, 0);
+}
+
+void QosScheduler::start() {
+  DCS_CHECK(!started_);
+  started_ = true;
+  for (std::size_t w = 0; w < workers_; ++w) {
+    fab_.engine().spawn(worker_loop());
+  }
+  fab_.node(node_).add_service_threads(workers_);
+}
+
+sim::Task<void> QosScheduler::submit(std::size_t cls, SimNanos cpu) {
+  DCS_CHECK(cls < classes_.size());
+  DCS_CHECK_MSG(started_, "QosScheduler not started");
+  sim::Event done(fab_.engine());
+  queues_[cls]->push(Job{cpu, fab_.engine().now(), &done});
+  pending_->release();  // signal one unit of work
+  co_await done.wait();
+}
+
+std::size_t QosScheduler::pick_class() {
+  // Weighted deficit round-robin: every pass tops up each class's deficit
+  // by weight x quantum; the first (cursor-rotated) nonempty class whose
+  // deficit covers its head job runs.  Falls back to the nonempty class
+  // with the largest deficit so work never starves.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      const std::size_t cls = (rr_cursor_ + i) % classes_.size();
+      if (queues_[cls]->empty()) continue;
+      if (deficit_[cls] >= 0) {
+        rr_cursor_ = (cls + 1) % classes_.size();
+        return cls;
+      }
+    }
+    // All nonempty classes are in deficit debt: top everyone up.
+    for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+      deficit_[cls] += classes_[cls].weight * static_cast<double>(kQuantum);
+    }
+  }
+  // Still nothing eligible (deep debt from a huge job): serve the least
+  // indebted nonempty class.
+  std::size_t best = classes_.size();
+  for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+    if (queues_[cls]->empty()) continue;
+    if (best == classes_.size() || deficit_[cls] > deficit_[best]) best = cls;
+  }
+  DCS_CHECK(best < classes_.size());
+  return best;
+}
+
+sim::Task<void> QosScheduler::worker_loop() {
+  for (;;) {
+    co_await pending_->acquire();  // one queued job somewhere
+    const std::size_t cls = pick_class();
+    auto job_opt = queues_[cls]->try_recv();
+    if (!job_opt.has_value()) {
+      // Another worker took it; re-arm and retry.
+      pending_->release();
+      co_await fab_.engine().yield();
+      continue;
+    }
+    Job job = *job_opt;
+    deficit_[cls] -= static_cast<double>(job.cpu);
+    co_await fab_.node(node_).execute(job.cpu);
+    auto& st = stats_[cls];
+    ++st.completed;
+    st.cpu_consumed += job.cpu;
+    st.latency_us.add(to_micros(fab_.engine().now() - job.enqueued_at));
+    job.done->set();
+  }
+}
+
+}  // namespace dcs::datacenter

@@ -1,0 +1,47 @@
+// Proxy (web) tier: front-line servers that accept client connections and
+// serve documents through a pluggable handler (plain backend fetch, or one
+// of the cooperative caching schemes in dcs::cache).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "datacenter/document.hpp"
+#include "sockets/tcp.hpp"
+
+namespace dcs::datacenter {
+
+using fabric::NodeId;
+
+/// Produces the body for (proxy node, doc id). Implemented by cache schemes.
+using DocHandler =
+    std::function<sim::Task<std::vector<std::byte>>(NodeId, DocId)>;
+
+struct WebFarmConfig {
+  SimNanos request_cpu = microseconds(30);  // proxy-side parse + headers
+  std::uint16_t port = 80;
+};
+
+class WebFarm {
+ public:
+  WebFarm(sockets::TcpNetwork& tcp, std::vector<NodeId> proxies,
+          DocHandler handler, WebFarmConfig config = {});
+
+  void start();
+
+  const std::vector<NodeId>& proxies() const { return proxies_; }
+  std::uint16_t port() const { return config_.port; }
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  sim::Task<void> accept_loop(NodeId node);
+  sim::Task<void> session(NodeId node, sockets::TcpConnection* conn);
+
+  sockets::TcpNetwork& tcp_;
+  std::vector<NodeId> proxies_;
+  DocHandler handler_;
+  WebFarmConfig config_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace dcs::datacenter

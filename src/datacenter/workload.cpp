@@ -1,0 +1,59 @@
+#include "datacenter/workload.hpp"
+
+#include "common/check.hpp"
+
+namespace dcs::datacenter {
+
+const std::vector<RubisOp>& rubis_mix() {
+  // Frequencies follow the browse-heavy RUBiS default transition table;
+  // CPU demands are era-plausible app-server costs (search and bid hit the
+  // database, browsing mostly renders cached fragments).
+  static const std::vector<RubisOp> kMix = {
+      {"Home", 10.0, microseconds(40), 2048},
+      {"Browse", 28.0, microseconds(80), 6144},
+      {"ViewItem", 22.0, microseconds(150), 8192},
+      {"SearchByCategory", 16.0, microseconds(700), 10240},
+      {"ViewUserInfo", 8.0, microseconds(250), 4096},
+      {"ViewBidHistory", 6.0, microseconds(400), 6144},
+      {"PlaceBid", 5.0, microseconds(1200), 1024},
+      {"RegisterItem", 2.5, microseconds(1800), 1024},
+      {"BuyNow", 2.5, microseconds(900), 2048},
+  };
+  return kMix;
+}
+
+std::vector<std::uint32_t> make_rubis_trace(std::size_t length,
+                                            std::uint64_t seed) {
+  const auto& mix = rubis_mix();
+  double total = 0;
+  for (const auto& op : mix) total += op.weight;
+
+  Rng rng(seed);
+  std::vector<std::uint32_t> trace;
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    double pick = rng.uniform_double() * total;
+    std::uint32_t idx = 0;
+    for (const auto& op : mix) {
+      if (pick < op.weight) break;
+      pick -= op.weight;
+      ++idx;
+    }
+    trace.push_back(std::min<std::uint32_t>(
+        idx, static_cast<std::uint32_t>(mix.size() - 1)));
+  }
+  return trace;
+}
+
+SimNanos rubis_mean_cpu() {
+  const auto& mix = rubis_mix();
+  double total_w = 0, total_cpu = 0;
+  for (const auto& op : mix) {
+    total_w += op.weight;
+    total_cpu += op.weight * static_cast<double>(op.cpu);
+  }
+  DCS_CHECK(total_w > 0);
+  return static_cast<SimNanos>(total_cpu / total_w);
+}
+
+}  // namespace dcs::datacenter

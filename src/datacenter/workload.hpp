@@ -1,0 +1,33 @@
+// Workload generators beyond the plain Zipf document trace:
+// a RUBiS-like auction-site request mix (used by the paper's Figure 8b),
+// whose operations have widely divergent CPU demands — the divergence that
+// makes fine-grained resource monitoring matter.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace dcs::datacenter {
+
+struct RubisOp {
+  std::string_view name;
+  double weight;          // relative frequency in the mix
+  SimNanos cpu;           // application-tier CPU demand
+  std::size_t reply_bytes;
+};
+
+/// The operation mix of an auction site (browse-heavy, occasional writes).
+const std::vector<RubisOp>& rubis_mix();
+
+/// Deterministic trace of op indices into rubis_mix().
+std::vector<std::uint32_t> make_rubis_trace(std::size_t length,
+                                            std::uint64_t seed);
+
+/// Mean CPU demand of the mix (for capacity planning in benches).
+SimNanos rubis_mean_cpu();
+
+}  // namespace dcs::datacenter

@@ -1,0 +1,416 @@
+#include "ddss/ddss.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "verbs/wire.hpp"
+
+namespace dcs::ddss {
+
+namespace {
+
+enum class Op : std::uint8_t { kAlloc = 1, kFree = 2 };
+
+constexpr std::uint32_t kReplyTagBase = 0xDD560000;
+
+/// Cluster-unique identifier of a temporal allocation's cached datum.
+std::uint64_t temporal_tag(const Allocation& alloc) {
+  return alloc.data.addr ^ (std::uint64_t{alloc.home} << 48);
+}
+
+void encode_region(verbs::Encoder& enc, const verbs::RemoteRegion& r) {
+  enc.u32(r.node).u64(r.addr).u64(r.len).u32(r.rkey);
+}
+
+verbs::RemoteRegion decode_region(verbs::Decoder& dec) {
+  verbs::RemoteRegion r;
+  r.node = dec.u32();
+  r.addr = dec.u64();
+  r.len = dec.u64();
+  r.rkey = dec.u32();
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(Coherence c) {
+  switch (c) {
+    case Coherence::kNull: return "Null";
+    case Coherence::kRead: return "Read";
+    case Coherence::kWrite: return "Write";
+    case Coherence::kStrict: return "Strict";
+    case Coherence::kVersion: return "Version";
+    case Coherence::kDelta: return "Delta";
+    case Coherence::kTemporal: return "Temporal";
+  }
+  return "?";
+}
+
+Ddss::Ddss(verbs::Network& net, DdssConfig config)
+    : net_(net), config_(config) {
+  DCS_CHECK(config_.delta_versions >= 2);
+}
+
+void Ddss::start() {
+  DCS_CHECK_MSG(!started_, "Ddss::start called twice");
+  started_ = true;
+  for (NodeId n = 0; n < static_cast<NodeId>(net_.size()); ++n) {
+    engine().spawn(daemon(n));
+    net_.fabric().node(n).add_service_threads(1);
+    if (config_.temporal_write_invalidate) {
+      engine().spawn(invalidation_listener(n));
+    }
+  }
+}
+
+sim::Task<void> Ddss::invalidation_listener(NodeId node) {
+  auto& hca = net_.hca(node);
+  for (;;) {
+    verbs::Message msg = co_await hca.recv(config_.invalidate_tag);
+    verbs::Decoder dec(msg.payload);
+    temporal_cache_.erase(CacheKey{node, dec.u64()});
+  }
+}
+
+std::size_t Ddss::storage_bytes(std::size_t size, Coherence c) const {
+  return c == Coherence::kDelta ? size * config_.delta_versions : size;
+}
+
+NodeId Ddss::pick_home(NodeId requester, Placement placement,
+                       std::size_t bytes) {
+  const auto n = static_cast<NodeId>(net_.size());
+  switch (placement) {
+    case Placement::kLocal:
+      return requester;
+    case Placement::kRemote: {
+      // First remote node with room.
+      for (NodeId i = 0; i < n; ++i) {
+        const NodeId cand = (requester + 1 + i) % n;
+        if (cand == requester) continue;
+        auto& mem = net_.fabric().node(cand).memory();
+        if (mem.capacity() - mem.used() >= bytes) return cand;
+      }
+      throw DdssError("no remote node has room");
+    }
+    case Placement::kRoundRobin:
+      return static_cast<NodeId>(rr_next_++ % n);
+    case Placement::kLeastLoaded: {
+      NodeId best = 0;
+      std::size_t best_free = 0;
+      for (NodeId i = 0; i < n; ++i) {
+        auto& mem = net_.fabric().node(i).memory();
+        const std::size_t free_bytes = mem.capacity() - mem.used();
+        if (free_bytes > best_free) {
+          best_free = free_bytes;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return requester;
+}
+
+sim::Task<void> Ddss::daemon(NodeId node) {
+  auto& hca = net_.hca(node);
+  for (;;) {
+    verbs::Message msg = co_await hca.recv(config_.control_tag);
+    verbs::Decoder dec(msg.payload);
+    const auto op = static_cast<Op>(dec.u8());
+    const std::uint32_t reply_tag = dec.u32();
+    switch (op) {
+      case Op::kAlloc: {
+        const std::uint64_t payload_bytes = dec.u64();
+        verbs::Encoder reply;
+        const fabric::MemAddr data_addr =
+            hca.host().memory().allocate(payload_bytes);
+        if (data_addr == fabric::kNullAddr) {
+          reply.u8(0);  // failure
+        } else {
+          auto data = hca.register_region(data_addr, payload_bytes);
+          auto meta = hca.allocate_region(MetaLayout::kSize);
+          // Zero the metadata words (lock free, version 0, head 0).
+          auto meta_bytes =
+              hca.host().memory().bytes(meta.addr, MetaLayout::kSize);
+          std::fill(meta_bytes.begin(), meta_bytes.end(), std::byte{0});
+          reply.u8(1);
+          encode_region(reply, data);
+          encode_region(reply, meta);
+          ++allocations_served_;
+        }
+        co_await hca.send(msg.src, reply_tag, reply.take());
+        break;
+      }
+      case Op::kFree: {
+        auto data = decode_region(dec);
+        auto meta = decode_region(dec);
+        hca.deregister(data.rkey);
+        hca.host().memory().free(data.addr);
+        hca.free_region(meta);
+        co_await hca.send(msg.src, reply_tag,
+                          verbs::Encoder().u8(1).take());
+        break;
+      }
+    }
+  }
+}
+
+// --- Client ---
+
+Client::Client(Ddss& substrate, NodeId node, std::uint32_t process_id)
+    : ddss_(substrate), node_(node), process_id_(process_id) {}
+
+sim::Task<void> Client::ipc_hop() {
+  // Processes other than the substrate owner reach it over local IPC.
+  if (process_id_ != 0) {
+    co_await ddss_.net_.fabric().node(node_).execute_unsliced(
+        nanoseconds(400));
+  }
+}
+
+sim::Task<Allocation> Client::allocate(std::size_t size, Coherence coherence,
+                                       Placement placement) {
+  DCS_CHECK(size > 0);
+  co_await ipc_hop();
+  const std::size_t storage = ddss_.storage_bytes(size, coherence);
+  const NodeId home = ddss_.pick_home(node_, placement, storage);
+
+  const std::uint32_t reply_tag =
+      kReplyTagBase + (ddss_.next_reply_++ & 0x7FFF);
+
+  verbs::Encoder req;
+  req.u8(static_cast<std::uint8_t>(Op::kAlloc)).u32(reply_tag).u64(storage);
+  auto& hca = ddss_.net_.hca(node_);
+  co_await hca.send(home, ddss_.config_.control_tag, req.take());
+  verbs::Message reply = co_await hca.recv(reply_tag);
+  verbs::Decoder dec(reply.payload);
+  if (dec.u8() == 0) {
+    throw DdssError("allocation failed: home node out of registered memory");
+  }
+  Allocation alloc;
+  alloc.key = ddss_.next_key_++;
+  alloc.coherence = coherence;
+  alloc.size = size;
+  alloc.home = home;
+  alloc.data = decode_region(dec);
+  alloc.meta = decode_region(dec);
+  co_return alloc;
+}
+
+sim::Task<void> Client::release(Allocation alloc) {
+  DCS_CHECK(alloc.valid());
+  co_await ipc_hop();
+  invalidate_cached(alloc);
+  const std::uint32_t reply_tag =
+      kReplyTagBase + 0x8000 + (ddss_.next_reply_++ & 0x7FFF);
+  verbs::Encoder req;
+  req.u8(static_cast<std::uint8_t>(Op::kFree)).u32(reply_tag);
+  encode_region(req, alloc.data);
+  encode_region(req, alloc.meta);
+  auto& hca = ddss_.net_.hca(node_);
+  co_await hca.send(alloc.home, ddss_.config_.control_tag, req.take());
+  (void)co_await hca.recv(reply_tag);
+}
+
+sim::Task<std::uint64_t> Client::fetch_add(const Allocation& alloc,
+                                           std::size_t offset,
+                                           std::uint64_t delta) {
+  DCS_CHECK(alloc.valid());
+  DCS_CHECK_MSG(offset + 8 <= alloc.size, "atomic outside allocation");
+  co_await ipc_hop();
+  co_return co_await ddss_.net_.hca(node_).fetch_and_add(alloc.data, offset,
+                                                         delta);
+}
+
+sim::Task<std::uint64_t> Client::compare_swap(const Allocation& alloc,
+                                              std::size_t offset,
+                                              std::uint64_t expected,
+                                              std::uint64_t desired) {
+  DCS_CHECK(alloc.valid());
+  DCS_CHECK_MSG(offset + 8 <= alloc.size, "atomic outside allocation");
+  co_await ipc_hop();
+  co_return co_await ddss_.net_.hca(node_).compare_and_swap(
+      alloc.data, offset, expected, desired);
+}
+
+sim::Task<void> Client::lock(const Allocation& alloc) {
+  auto& hca = ddss_.net_.hca(node_);
+  const std::uint64_t self = node_ + 1;
+  for (;;) {
+    const auto old = co_await hca.compare_and_swap(alloc.meta,
+                                                   MetaLayout::kLock, 0, self);
+    if (old == 0) co_return;
+    co_await ddss_.engine().delay(ddss_.config_.lock_backoff);
+  }
+}
+
+sim::Task<void> Client::unlock(const Allocation& alloc) {
+  auto& hca = ddss_.net_.hca(node_);
+  const std::uint64_t self = node_ + 1;
+  const auto old =
+      co_await hca.compare_and_swap(alloc.meta, MetaLayout::kLock, self, 0);
+  DCS_CHECK_MSG(old == self, "unlock by non-owner");
+}
+
+sim::Task<void> Client::put(const Allocation& alloc,
+                            std::span<const std::byte> value) {
+  DCS_CHECK(alloc.valid());
+  DCS_CHECK_MSG(value.size() <= alloc.size, "put larger than allocation");
+  co_await ipc_hop();
+  auto& hca = ddss_.net_.hca(node_);
+  switch (alloc.coherence) {
+    case Coherence::kNull:
+      co_await hca.write(alloc.data, 0, value);
+      break;
+    case Coherence::kRead:
+    case Coherence::kVersion:
+      // Writers bump the version so readers can validate.
+      co_await hca.write(alloc.data, 0, value);
+      (void)co_await hca.fetch_and_add(alloc.meta, MetaLayout::kVersion, 1);
+      break;
+    case Coherence::kWrite:
+      co_await lock(alloc);
+      co_await hca.write(alloc.data, 0, value);
+      co_await unlock(alloc);
+      break;
+    case Coherence::kStrict:
+      co_await lock(alloc);
+      co_await hca.write(alloc.data, 0, value);
+      (void)co_await hca.fetch_and_add(alloc.meta, MetaLayout::kVersion, 1);
+      co_await unlock(alloc);
+      break;
+    case Coherence::kDelta: {
+      // Single-writer ring: place the new version, then publish the head.
+      std::byte head_img[8];
+      co_await hca.read(alloc.meta, MetaLayout::kDeltaHead, head_img);
+      const auto head = verbs::load_u64(head_img, 0);
+      const std::size_t slot = head % ddss_.config_.delta_versions;
+      co_await hca.write(alloc.data, slot * alloc.size, value);
+      (void)co_await hca.fetch_and_add(alloc.meta, MetaLayout::kDeltaHead, 1);
+      break;
+    }
+    case Coherence::kTemporal: {
+      co_await hca.write(alloc.data, 0, value);
+      std::byte ts_img[8];
+      verbs::store_u64(ts_img, 0, ddss_.engine().now());
+      co_await hca.write(alloc.meta, MetaLayout::kTimestamp, ts_img);
+      invalidate_cached(alloc);  // our own node re-reads fresh data
+      if (ddss_.config_.temporal_write_invalidate) {
+        const auto tag = temporal_tag(alloc);
+        auto it = ddss_.temporal_sharers_.find(tag);
+        if (it != ddss_.temporal_sharers_.end() && !it->second.empty()) {
+          std::vector<NodeId> group(it->second.begin(), it->second.end());
+          ddss_.temporal_sharers_.erase(it);
+          co_await hca.multicast(group, ddss_.config_.invalidate_tag,
+                                 verbs::Encoder().u64(tag).take());
+        }
+      }
+      break;
+    }
+  }
+}
+
+sim::Task<void> Client::get(const Allocation& alloc, std::span<std::byte> out) {
+  DCS_CHECK(alloc.valid());
+  DCS_CHECK_MSG(out.size() <= alloc.size, "get larger than allocation");
+  co_await ipc_hop();
+  auto& hca = ddss_.net_.hca(node_);
+  switch (alloc.coherence) {
+    case Coherence::kNull:
+    case Coherence::kWrite:
+      co_await hca.read(alloc.data, 0, out);
+      break;
+    case Coherence::kRead: {
+      // One validation read: sees a committed version number with the data.
+      co_await hca.read(alloc.data, 0, out);
+      std::byte ver_img[8];
+      co_await hca.read(alloc.meta, MetaLayout::kVersion, ver_img);
+      break;
+    }
+    case Coherence::kVersion:
+      (void)co_await get_versioned(alloc, out);
+      break;
+    case Coherence::kStrict:
+      co_await lock(alloc);
+      co_await hca.read(alloc.data, 0, out);
+      co_await unlock(alloc);
+      break;
+    case Coherence::kDelta:
+      co_await get_delta(alloc, 0, out);
+      break;
+    case Coherence::kTemporal: {
+      const Ddss::CacheKey key{node_, temporal_tag(alloc)};
+      auto it = ddss_.temporal_cache_.find(key);
+      const auto now = ddss_.engine().now();
+      if (it != ddss_.temporal_cache_.end() &&
+          now - it->second.fetched_at < ddss_.config_.temporal_ttl &&
+          it->second.value.size() >= out.size()) {
+        std::copy_n(it->second.value.begin(), out.size(), out.begin());
+        co_return;
+      }
+      co_await hca.read(alloc.data, 0, out);
+      Ddss::CacheEntry entry;
+      entry.value.assign(out.begin(), out.end());
+      entry.fetched_at = now;
+      ddss_.temporal_cache_[key] = std::move(entry);
+      if (ddss_.config_.temporal_write_invalidate) {
+        ddss_.temporal_sharers_[temporal_tag(alloc)].insert(node_);
+      }
+      break;
+    }
+  }
+}
+
+sim::Task<std::uint64_t> Client::get_versioned(const Allocation& alloc,
+                                               std::span<std::byte> out) {
+  DCS_CHECK(alloc.valid());
+  auto& hca = ddss_.net_.hca(node_);
+  for (;;) {
+    std::byte v1_img[8], v2_img[8];
+    co_await hca.read(alloc.meta, MetaLayout::kVersion, v1_img);
+    co_await hca.read(alloc.data, 0, out);
+    co_await hca.read(alloc.meta, MetaLayout::kVersion, v2_img);
+    const auto v1 = verbs::load_u64(v1_img, 0);
+    const auto v2 = verbs::load_u64(v2_img, 0);
+    if (v1 == v2) co_return v2;
+    co_await ddss_.engine().delay(ddss_.config_.lock_backoff);
+  }
+}
+
+sim::Task<void> Client::get_delta(const Allocation& alloc, std::size_t age,
+                                  std::span<std::byte> out) {
+  DCS_CHECK(alloc.coherence == Coherence::kDelta);
+  DCS_CHECK_MSG(age < ddss_.config_.delta_versions,
+                "delta age beyond retained window");
+  auto& hca = ddss_.net_.hca(node_);
+  std::byte head_img[8];
+  co_await hca.read(alloc.meta, MetaLayout::kDeltaHead, head_img);
+  const auto head = verbs::load_u64(head_img, 0);
+  if (head == 0) throw DdssError("delta get before first put");
+  DCS_CHECK_MSG(age < head, "delta age older than history");
+  const std::size_t slot =
+      (head - 1 - age) % ddss_.config_.delta_versions;
+  co_await hca.read(alloc.data, slot * alloc.size, out);
+}
+
+sim::Task<std::uint64_t> Client::version(const Allocation& alloc) {
+  auto& hca = ddss_.net_.hca(node_);
+  std::byte ver_img[8];
+  co_await hca.read(alloc.meta, MetaLayout::kVersion, ver_img);
+  co_return verbs::load_u64(ver_img, 0);
+}
+
+sim::Task<std::uint64_t> Client::wait_version(const Allocation& alloc,
+                                              std::uint64_t min_version) {
+  for (;;) {
+    const auto v = co_await version(alloc);
+    if (v >= min_version) co_return v;
+    co_await ddss_.engine().delay(ddss_.config_.lock_backoff);
+  }
+}
+
+void Client::invalidate_cached(const Allocation& alloc) {
+  ddss_.temporal_cache_.erase(Ddss::CacheKey{node_, temporal_tag(alloc)});
+}
+
+}  // namespace dcs::ddss

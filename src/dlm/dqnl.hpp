@@ -1,0 +1,40 @@
+// DQNL — Distributed Queue based Non-shared Locking (Devulapalli &
+// Wyckoff [10]).
+//
+// The home node hosts one 64-bit word per lock holding the id of the tail
+// of a distributed waiter queue (0 = free).  A requester atomically swaps
+// itself in with a CAS retry loop; if the previous tail was non-zero it
+// notifies that node and waits for a direct grant at release time.
+//
+// Shared locks are NOT supported natively: every request is exclusive, so a
+// crowd of readers serializes into a grant chain — the weakness N-CoSED's
+// fetch-and-add path removes (Figure 5a).
+#pragma once
+
+#include <unordered_map>
+
+#include "dlm/lock_manager.hpp"
+
+namespace dcs::dlm {
+
+class DqnlLockManager final : public LockManager {
+ public:
+  /// Lock words live on `home`; supports lock ids < max_locks.
+  DqnlLockManager(verbs::Network& net, NodeId home, std::size_t max_locks = 64);
+  ~DqnlLockManager() override;
+
+  sim::Task<void> lock(NodeId self, LockId id, LockMode mode) override;
+  sim::Task<void> unlock(NodeId self, LockId id) override;
+  const char* name() const override { return "DQNL"; }
+
+  std::uint64_t cas_retries() const { return cas_retries_; }
+
+ private:
+  verbs::Network& net_;
+  NodeId home_;
+  std::size_t max_locks_;
+  verbs::RemoteRegion table_;   // max_locks x 8 bytes of tail words
+  std::uint64_t cas_retries_ = 0;
+};
+
+}  // namespace dcs::dlm

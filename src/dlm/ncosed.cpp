@@ -1,0 +1,193 @@
+#include "dlm/ncosed.hpp"
+
+#include <vector>
+
+#include "verbs/wire.hpp"
+
+namespace dcs::dlm {
+
+namespace {
+std::uint64_t holder_key(NodeId node, LockId id) {
+  return (static_cast<std::uint64_t>(node) << 32) | id;
+}
+}  // namespace
+
+NcosedLockManager::NcosedLockManager(verbs::Network& net, NodeId home,
+                                     std::size_t max_locks,
+                                     SimNanos drain_poll_interval)
+    : net_(net),
+      home_(home),
+      max_locks_(max_locks),
+      poll_interval_(drain_poll_interval) {
+  table_ = net_.hca(home_).allocate_region(max_locks_ * kEntryBytes);
+  auto bytes = net_.fabric().node(home_).memory().bytes(
+      table_.addr, max_locks_ * kEntryBytes);
+  std::fill(bytes.begin(), bytes.end(), std::byte{0});
+}
+
+NcosedLockManager::~NcosedLockManager() { net_.hca(home_).free_region(table_); }
+
+sim::Task<void> NcosedLockManager::lock(NodeId self, LockId id,
+                                        LockMode mode) {
+  DCS_CHECK(id < max_locks_);
+  const auto key = holder_key(self, id);
+  DCS_CHECK_MSG(!held_.contains(key), "N-CoSED: node already holds this lock");
+  if (mode == LockMode::kShared) {
+    co_await lock_shared_impl(self, id);
+  } else {
+    co_await lock_exclusive_impl(self, id);
+  }
+  held_[key] = mode;
+}
+
+sim::Task<void> NcosedLockManager::unlock(NodeId self, LockId id) {
+  const auto it = held_.find(holder_key(self, id));
+  DCS_CHECK_MSG(it != held_.end(), "N-CoSED: unlock without hold");
+  const LockMode mode = it->second;
+  held_.erase(it);
+  if (mode == LockMode::kShared) {
+    co_await unlock_shared_impl(self, id);
+  } else {
+    co_await unlock_exclusive_impl(self, id);
+  }
+}
+
+sim::Task<void> NcosedLockManager::lock_shared_impl(NodeId self, LockId id) {
+  auto& hca = net_.hca(self);
+  // Register the shared request: one fetch-and-add on the lock window.
+  const auto old = co_await hca.fetch_and_add(table_, w0_off(id), 1);
+  const std::uint32_t tail = tail_of(old);
+  if (tail == 0) co_return;  // no exclusive ahead of us: granted
+  // Queue behind the exclusive tail; it grants us when it releases.
+  co_await hca.send(static_cast<NodeId>(tail - 1), tags::kNcWaitShared + id,
+                    verbs::Encoder().u32(self).take());
+  (void)co_await hca.recv(tags::kNcGrantShared + id);
+}
+
+sim::Task<void> NcosedLockManager::unlock_shared_impl(NodeId self, LockId id) {
+  // Purely one-sided: count our release; an exclusive drainer observes it.
+  (void)co_await net_.hca(self).fetch_and_add(table_, w1_off(id), 1);
+}
+
+sim::Task<void> NcosedLockManager::lock_exclusive_impl(NodeId self,
+                                                       LockId id) {
+  auto& hca = net_.hca(self);
+  const std::uint32_t me = self + 1;
+
+  // Close the current epoch: swap ourselves in as tail with cleared count.
+  std::uint64_t guess = 0;
+  std::uint64_t old;
+  for (;;) {
+    old = co_await hca.compare_and_swap(table_, w0_off(id), guess,
+                                        make_w0(me, 0));
+    if (old == guess) break;
+    guess = old;
+  }
+  const std::uint32_t prev_tail = tail_of(old);
+  const std::uint32_t shared_in_epoch = count_of(old);
+
+  if (prev_tail != 0) {
+    // Queue behind the previous exclusive; tell it how many shared waiters
+    // its epoch accumulated so it can grant them before handing off.
+    co_await hca.send(static_cast<NodeId>(prev_tail - 1),
+                      tags::kNcWaitExcl + id,
+                      verbs::Encoder().u32(self).u32(shared_in_epoch).take());
+    (void)co_await hca.recv(tags::kNcHandoff + id);
+  }
+  // Wait for the epoch's shared holders to drain, then start a fresh epoch.
+  // (W1 is provably zero already when the epoch had no shared requests, so
+  // the uncontended path is exactly one CAS — Figure 4a.)
+  if (shared_in_epoch > 0) {
+    co_await drain_shared(self, id, shared_in_epoch);
+    std::byte zero[8] = {};
+    co_await hca.write(table_, w1_off(id), zero);
+  }
+}
+
+sim::Task<void> NcosedLockManager::drain_shared(NodeId self, LockId id,
+                                                std::uint32_t target) {
+  auto& hca = net_.hca(self);
+  auto& eng = net_.fabric().engine();
+  for (;;) {
+    std::byte img[8];
+    co_await hca.read(table_, w1_off(id), img);
+    ++drain_polls_;
+    if (verbs::load_u64(img, 0) >= target) co_return;
+    co_await eng.delay(poll_interval_);
+  }
+}
+
+sim::Task<void> NcosedLockManager::grant_shared_batch(NodeId self, LockId id,
+                                                      std::uint32_t count) {
+  auto& hca = net_.hca(self);
+  std::vector<NodeId> waiters;
+  waiters.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Notifications that arrived during our hold were already processed in
+    // the background (completion handling overlaps the critical section);
+    // only stragglers cost a blocking receive now.
+    if (auto msg = hca.try_recv(tags::kNcWaitShared + id)) {
+      waiters.push_back(verbs::Decoder(msg->payload).u32());
+      continue;
+    }
+    verbs::Message msg = co_await hca.recv(tags::kNcWaitShared + id);
+    waiters.push_back(verbs::Decoder(msg.payload).u32());
+  }
+  // Cascading grant: all grant messages are posted back to back and complete
+  // concurrently — a batch, not a serial ack-by-ack chain.
+  std::vector<sim::Task<void>> sends;
+  sends.reserve(waiters.size());
+  for (const NodeId w : waiters) {
+    sends.push_back(hca.send(w, tags::kNcGrantShared + id,
+                             verbs::Encoder().u32(id).take()));
+  }
+  co_await net_.fabric().engine().when_all(std::move(sends));
+}
+
+sim::Task<void> NcosedLockManager::unlock_exclusive_impl(NodeId self,
+                                                         LockId id) {
+  auto& hca = net_.hca(self);
+  const std::uint32_t me = self + 1;
+
+  // Direct handoff: if an exclusive successor has already announced itself,
+  // no lock-window operation is needed at all — grant our epoch's shared
+  // waiters and pass the lock along with one message.
+  if (auto pending = hca.try_recv(tags::kNcWaitExcl + id)) {
+    verbs::Decoder dec(pending->payload);
+    const NodeId successor = dec.u32();
+    const std::uint32_t owed_shared = dec.u32();
+    co_await grant_shared_batch(self, id, owed_shared);
+    co_await hca.send(successor, tags::kNcHandoff + id,
+                      verbs::Encoder().u32(id).take());
+    co_return;
+  }
+
+  // Otherwise try to CAS the tail out, guessing "no shared arrived" first.
+  std::uint64_t guess = make_w0(me, 0);
+  for (;;) {
+    const auto old = co_await hca.compare_and_swap(
+        table_, w0_off(id), guess, make_w0(0, count_of(guess)));
+    if (old == guess) {
+      // Stepped down; the shared-request count stays so the next epoch
+      // closer drains exactly our grantees.
+      co_await grant_shared_batch(self, id, count_of(old));
+      co_return;
+    }
+    if (tail_of(old) == me) {
+      guess = old;  // shared requests arrived meanwhile; retry with them
+      continue;
+    }
+    // A newer exclusive closed our epoch; its notification carries the
+    // number of shared waiters we owe grants to.
+    verbs::Message msg = co_await hca.recv(tags::kNcWaitExcl + id);
+    verbs::Decoder dec(msg.payload);
+    const NodeId successor = dec.u32();
+    const std::uint32_t owed_shared = dec.u32();
+    co_await grant_shared_batch(self, id, owed_shared);
+    co_await hca.send(successor, tags::kNcHandoff + id,
+                      verbs::Encoder().u32(id).take());
+    co_return;
+  }
+}
+
+}  // namespace dcs::dlm

@@ -1,0 +1,43 @@
+#include "fabric/fabric.hpp"
+
+namespace dcs::fabric {
+
+Fabric::Fabric(sim::Engine& eng, FabricParams params, ClusterSpec spec)
+    : eng_(eng), params_(params) {
+  DCS_CHECK(spec.num_nodes > 0);
+  nodes_.reserve(spec.num_nodes);
+  for (std::size_t i = 0; i < spec.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(eng_, static_cast<NodeId>(i),
+                                            params_, spec.cores_per_node,
+                                            spec.mem_per_node));
+  }
+}
+
+sim::Task<void> Fabric::transfer_impl(NodeId src, NodeId dst,
+                                      SimNanos serialization) {
+  DCS_CHECK_MSG(src < nodes_.size() && dst < nodes_.size(), "invalid node id");
+  if (src == dst) {
+    // Loopback: no wire; charge a single copy at memory speed.
+    co_await eng_.delay(serialization / 4);
+    co_return;
+  }
+  {
+    auto guard = co_await nodes_[src]->nic_tx().scoped();
+    co_await eng_.delay(serialization);
+  }
+  co_await eng_.delay(params_.link_latency);
+}
+
+sim::Task<void> Fabric::wire_transfer(NodeId src, NodeId dst,
+                                      std::size_t bytes) {
+  bytes_transferred_ += bytes;
+  co_await transfer_impl(src, dst, params_.wire_time(bytes));
+}
+
+sim::Task<void> Fabric::tcp_wire_transfer(NodeId src, NodeId dst,
+                                          std::size_t bytes) {
+  bytes_transferred_ += bytes;
+  co_await transfer_impl(src, dst, params_.tcp_wire_time(bytes));
+}
+
+}  // namespace dcs::fabric

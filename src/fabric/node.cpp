@@ -1,0 +1,87 @@
+#include "fabric/node.hpp"
+
+#include <algorithm>
+
+namespace dcs::fabric {
+
+Node::Node(sim::Engine& eng, NodeId id, const FabricParams& params,
+           std::size_t cores, std::size_t mem_bytes)
+    : eng_(eng),
+      id_(id),
+      params_(params),
+      cores_(cores),
+      memory_(mem_bytes),
+      run_queue_(eng, cores),
+      nic_tx_(eng) {
+  DCS_CHECK(cores > 0);
+  kernel_page_ = memory_.allocate(KernelStats::kSize);
+  DCS_CHECK(kernel_page_ != kNullAddr);
+  sync_kernel_page();
+}
+
+sim::Task<void> Node::execute(SimNanos work) {
+  ++runnable_;
+  sync_kernel_page();
+  SimNanos remaining = work;
+  while (remaining > 0) {
+    co_await run_queue_.acquire();
+    const SimNanos slice = std::min(remaining, params_.sched_quantum);
+    co_await eng_.delay(slice);
+    remaining -= slice;
+    busy_ns_ += slice;
+    run_queue_.release();
+    sync_kernel_page();
+  }
+  --runnable_;
+  sync_kernel_page();
+}
+
+sim::Task<void> Node::execute_unsliced(SimNanos work) {
+  ++runnable_;
+  sync_kernel_page();
+  co_await run_queue_.acquire();
+  co_await eng_.delay(work);
+  busy_ns_ += work;
+  run_queue_.release();
+  --runnable_;
+  sync_kernel_page();
+}
+
+double Node::utilization() const {
+  const auto elapsed = eng_.now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(busy_ns_) /
+         (static_cast<double>(elapsed) * static_cast<double>(cores_));
+}
+
+void Node::remove_service_threads(std::uint64_t n) {
+  DCS_CHECK(service_threads_ >= n);
+  service_threads_ -= n;
+  sync_kernel_page();
+}
+
+void Node::sync_kernel_page() {
+  // The simulated kernel keeps its scheduler statistics in registered
+  // memory, so a remote RDMA read observes them with zero host involvement.
+  KernelStats stats;
+  stats.runnable = runnable_;
+  stats.threads = runnable_ + service_threads_;
+  stats.busy_ns = busy_ns_;
+  stats.mem_used = memory_.used();
+  stats.seq = ++page_seq_;
+  auto dst = memory_.bytes(kernel_page_, KernelStats::kSize);
+  std::memcpy(dst.data(), &stats, KernelStats::kSize);
+}
+
+KernelStats Node::decode_kernel_page(std::span<const std::byte> bytes) {
+  DCS_CHECK(bytes.size() >= KernelStats::kSize);
+  KernelStats stats;
+  std::memcpy(&stats, bytes.data(), KernelStats::kSize);
+  return stats;
+}
+
+KernelStats Node::kernel_stats() const {
+  return decode_kernel_page(memory_.bytes(kernel_page_, KernelStats::kSize));
+}
+
+}  // namespace dcs::fabric

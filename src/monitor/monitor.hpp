@@ -1,0 +1,129 @@
+// Active fine-grained resource monitoring (Section 5.2, Figure 7 / [19]).
+//
+// The simulated kernel on every node mirrors its scheduler statistics into
+// registered memory (fabric::Node's kernel page).  Five monitoring schemes
+// read it from a front-end node:
+//
+//   Socket-Sync   a user-space daemon on the target answers TCP queries.
+//                 The daemon runs in process context, so under load the
+//                 reply (and the value in it) lags the truth — Figure 8a's
+//                 deviations.
+//   Socket-Async  the target daemon pushes its stats every interval; the
+//                 front-end serves queries from the last push (stale by up
+//                 to the interval plus scheduling delays).
+//   RDMA-Sync     the front-end RDMA-reads the kernel page on demand: the
+//                 value is current as of the read instant and the target
+//                 CPU is never involved.
+//   RDMA-Async    a front-end poller RDMA-reads every interval; queries are
+//                 local (stale by at most the interval, load-insensitive).
+//   e-RDMA-Sync   RDMA-Sync plus kernel-level detail: combines run-queue
+//                 length with measured CPU-utilization deltas for a finer
+//                 load signal (the paper's enhanced scheme, Figure 8b).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+
+#include "sockets/tcp.hpp"
+#include "verbs/verbs.hpp"
+
+namespace dcs::monitor {
+
+using fabric::KernelStats;
+using fabric::NodeId;
+
+enum class MonScheme {
+  kSocketSync,
+  kSocketAsync,
+  kRdmaSync,
+  kRdmaAsync,
+  kERdmaSync,
+};
+
+const char* to_string(MonScheme s);
+
+struct MonitorConfig {
+  SimNanos async_interval = milliseconds(5);  // push/poll period
+  std::uint16_t daemon_port = 9100;
+};
+
+/// A monitor sample: the stats plus the (virtual) time they were taken at.
+struct Sample {
+  KernelStats stats;
+  SimNanos sampled_at = 0;
+};
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor(verbs::Network& net, sockets::TcpNetwork& tcp,
+                  NodeId frontend, std::vector<NodeId> targets,
+                  MonScheme scheme, MonitorConfig config = {});
+
+  /// Spawns target daemons / front-end pollers as the scheme requires.
+  void start();
+
+  /// Current view of `target`'s load as seen by the front-end.
+  sim::Task<Sample> query(NodeId target);
+
+  /// Scalar load estimate used for dispatch decisions.  For e-RDMA-Sync
+  /// this blends run-queue length with utilization since the last query;
+  /// for all other schemes it is the sampled run-queue length.
+  sim::Task<double> load_estimate(NodeId target);
+
+  MonScheme scheme() const { return scheme_; }
+  NodeId frontend() const { return frontend_; }
+  const std::vector<NodeId>& targets() const { return targets_; }
+
+  /// Monitoring traffic statistics (intrusiveness accounting).
+  std::uint64_t queries_issued() const { return queries_issued_; }
+
+ private:
+  sim::Task<void> socket_daemon(NodeId target);
+  sim::Task<void> socket_push_daemon(NodeId target);
+  sim::Task<void> rdma_poller(NodeId target);
+  sim::Task<sockets::TcpConnection*> connection_to(NodeId target);
+  sim::Task<Sample> rdma_read_sample(NodeId target);
+
+  verbs::Network& net_;
+  sockets::TcpNetwork& tcp_;
+  NodeId frontend_;
+  std::vector<NodeId> targets_;
+  MonScheme scheme_;
+  MonitorConfig config_;
+  bool started_ = false;
+
+  std::map<NodeId, verbs::RemoteRegion> kernel_pages_;
+  std::map<NodeId, sockets::TcpConnection*> conns_;
+  std::unique_ptr<sim::Mutex> conn_setup_;
+  std::map<NodeId, Sample> last_sample_;          // async schemes
+  std::map<NodeId, Sample> prev_query_;           // e-RDMA utilization delta
+  std::uint64_t queries_issued_ = 0;
+};
+
+/// Dispatches heterogeneous jobs to the least-loaded app node according to
+/// a ResourceMonitor — the Figure 8b experiment's core loop.
+class MonitoredDispatcher {
+ public:
+  MonitoredDispatcher(verbs::Network& net, ResourceMonitor& monitor);
+
+  /// Picks a target (least estimated load), runs `cpu` worth of work there,
+  /// and returns when the job completes.  `reply_bytes` models the response
+  /// payload cost back to the front-end.
+  sim::Task<void> dispatch(SimNanos cpu, std::size_t reply_bytes);
+
+  std::uint64_t completed() const { return completed_; }
+  /// Per-request end-to-end latency (µs), including the monitoring cost.
+  LatencySamples& latency_us() { return latency_us_; }
+
+ private:
+  verbs::Network& net_;
+  ResourceMonitor& monitor_;
+  std::uint64_t completed_ = 0;
+  std::size_t rr_fallback_ = 0;
+  LatencySamples latency_us_;
+};
+
+}  // namespace dcs::monitor

@@ -1,0 +1,230 @@
+#include "reconfig/reconfig.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "verbs/wire.hpp"
+
+namespace dcs::reconfig {
+
+// --- SharedAssignment ---
+
+SharedAssignment::SharedAssignment(verbs::Network& net, NodeId home,
+                                   const std::vector<std::uint32_t>& initial)
+    : net_(net), home_(home), size_(initial.size()) {
+  DCS_CHECK(size_ > 0);
+  region_ = net_.hca(home_).allocate_region(8 + size_ * 4);
+  auto bytes =
+      net_.fabric().node(home_).memory().bytes(region_.addr, 8 + size_ * 4);
+  std::fill(bytes.begin(), bytes.end(), std::byte{0});
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::memcpy(bytes.data() + 8 + i * 4, &initial[i], 4);
+  }
+}
+
+SharedAssignment::~SharedAssignment() { net_.hca(home_).free_region(region_); }
+
+sim::Task<void> SharedAssignment::lock(NodeId actor) {
+  auto& hca = net_.hca(actor);
+  const std::uint64_t me = actor + 1;
+  for (;;) {
+    const auto old = co_await hca.compare_and_swap(region_, 0, 0, me);
+    if (old == 0) co_return;
+    co_await net_.fabric().engine().delay(microseconds(5));
+  }
+}
+
+sim::Task<void> SharedAssignment::unlock(NodeId actor) {
+  auto& hca = net_.hca(actor);
+  const std::uint64_t me = actor + 1;
+  const auto old = co_await hca.compare_and_swap(region_, 0, me, 0);
+  DCS_CHECK_MSG(old == me, "assignment unlock by non-owner");
+}
+
+sim::Task<std::vector<std::uint32_t>> SharedAssignment::read(NodeId actor) {
+  std::vector<std::byte> img(size_ * 4);
+  co_await net_.hca(actor).read(region_, 8, img);
+  std::vector<std::uint32_t> out(size_);
+  std::memcpy(out.data(), img.data(), img.size());
+  co_return out;
+}
+
+sim::Task<void> SharedAssignment::write(NodeId actor, std::size_t index,
+                                        std::uint32_t site) {
+  DCS_CHECK(index < size_);
+  std::byte img[4];
+  std::memcpy(img, &site, 4);
+  co_await net_.hca(actor).write(region_, 8 + index * 4, img);
+}
+
+// --- ReconfigService ---
+
+ReconfigService::ReconfigService(verbs::Network& net,
+                                 monitor::ResourceMonitor& mon,
+                                 NodeId manager_node, std::vector<NodeId> pool,
+                                 std::size_t num_sites, ReconfigConfig config,
+                                 std::vector<double> site_weights,
+                                 std::vector<std::uint32_t> initial_assignment)
+    : net_(net),
+      mon_(mon),
+      manager_(manager_node),
+      pool_(std::move(pool)),
+      num_sites_(num_sites),
+      config_(config),
+      weights_(std::move(site_weights)),
+      shared_(net, manager_node,
+              [&] {
+                std::vector<std::uint32_t> init = initial_assignment;
+                if (init.empty()) {
+                  init.resize(pool_.size());
+                  for (std::size_t i = 0; i < init.size(); ++i) {
+                    init[i] = static_cast<std::uint32_t>(i % num_sites);
+                  }
+                }
+                DCS_CHECK(init.size() == pool_.size());
+                return init;
+              }()),
+      available_at_(pool_.size(), 0),
+      imbalance_streak_(num_sites, 0) {
+  DCS_CHECK(num_sites_ >= 1);
+  DCS_CHECK(pool_.size() >= num_sites_);
+  if (weights_.empty()) weights_.assign(num_sites_, 1.0);
+  DCS_CHECK(weights_.size() == num_sites_);
+  if (initial_assignment.empty()) {
+    assignment_.resize(pool_.size());
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      assignment_[i] = static_cast<std::uint32_t>(i % num_sites_);
+    }
+  } else {
+    for (const auto site : initial_assignment) DCS_CHECK(site < num_sites_);
+    assignment_ = std::move(initial_assignment);
+  }
+}
+
+void ReconfigService::start() {
+  DCS_CHECK(!started_);
+  started_ = true;
+  net_.fabric().engine().spawn(manager_loop());
+}
+
+std::uint32_t ReconfigService::site_of(NodeId node) const {
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i] == node) return assignment_[i];
+  }
+  DCS_CHECK_MSG(false, "node not in pool");
+  return 0;
+}
+
+std::vector<NodeId> ReconfigService::servers_of(std::uint32_t site) const {
+  std::vector<NodeId> out;
+  const auto now = net_.fabric().engine().now();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (assignment_[i] == site && available_at_[i] <= now) {
+      out.push_back(pool_[i]);
+    }
+  }
+  if (out.empty()) {
+    // Everything quarantined: fall back to assigned-but-warming nodes.
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (assignment_[i] == site) out.push_back(pool_[i]);
+    }
+  }
+  return out;
+}
+
+sim::Task<NodeId> ReconfigService::pick_server(std::uint32_t site) {
+  const auto servers = servers_of(site);
+  DCS_CHECK_MSG(!servers.empty(), "site has no servers");
+  NodeId best = servers.front();
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const NodeId n : servers) {
+    const double load = co_await mon_.load_estimate(n);
+    if (load < best_load) {
+      best_load = load;
+      best = n;
+    }
+  }
+  co_return best;
+}
+
+sim::Task<std::vector<double>> ReconfigService::site_loads() {
+  std::vector<double> sum(num_sites_, 0.0);
+  std::vector<int> count(num_sites_, 0);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const double load = co_await mon_.load_estimate(pool_[i]);
+    sum[assignment_[i]] += load;
+    count[assignment_[i]]++;
+  }
+  // Per-node load, scaled by QoS weight (heavier weight -> looks busier ->
+  // attracts capacity earlier).
+  for (std::size_t s = 0; s < num_sites_; ++s) {
+    const double per_node = count[s] > 0 ? sum[s] / count[s] : 0.0;
+    sum[s] = per_node * weights_[s];
+  }
+  co_return sum;
+}
+
+sim::Task<void> ReconfigService::manager_step() {
+  const auto loads = co_await site_loads();
+  const auto busiest = static_cast<std::uint32_t>(
+      std::max_element(loads.begin(), loads.end()) - loads.begin());
+  const auto calmest = static_cast<std::uint32_t>(
+      std::min_element(loads.begin(), loads.end()) - loads.begin());
+  const double hi = loads[busiest];
+  const double lo = loads[calmest];
+
+  const bool imbalanced =
+      busiest != calmest && hi > 0.5 &&
+      (lo <= 0.0 || hi / std::max(lo, 1e-9) >= config_.imbalance_threshold);
+  if (!imbalanced) {
+    std::fill(imbalance_streak_.begin(), imbalance_streak_.end(), 0);
+    co_return;
+  }
+  // History-aware: require the same site to stay overloaded across checks.
+  if (++imbalance_streak_[busiest] < config_.history_window) co_return;
+  imbalance_streak_[busiest] = 0;
+
+  // Find a donor: a calm-site node out of cooldown; the calm site must keep
+  // at least one server.  With a repurpose-cost callback installed, pick
+  // the eligible node whose loss costs least (cache-aware selection).
+  const auto now = net_.fabric().engine().now();
+  std::size_t donor = pool_.size();
+  std::size_t calm_nodes = 0;
+  double donor_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (assignment_[i] != calmest) continue;
+    ++calm_nodes;
+    if (available_at_[i] > now) continue;
+    const double cost =
+        repurpose_cost_ ? repurpose_cost_(pool_[i]) : 0.0;
+    if (donor == pool_.size() || cost < donor_cost) {
+      donor = i;
+      donor_cost = cost;
+    }
+  }
+  if (donor == pool_.size() || calm_nodes <= 1) co_return;
+
+  // Concurrency-controlled move through the shared state.
+  co_await shared_.lock(manager_);
+  auto current = co_await shared_.read(manager_);
+  if (current[donor] == calmest) {  // still true under the lock
+    co_await shared_.write(manager_, donor, busiest);
+    assignment_[donor] = busiest;
+    available_at_[donor] = now + config_.node_repurpose_cost;
+    events_.push_back(ReconfigEvent{now, pool_[donor], calmest, busiest});
+    if (repurpose_hook_) repurpose_hook_(pool_[donor], busiest);
+  } else {
+    assignment_[donor] = current[donor];  // another manager moved it
+  }
+  co_await shared_.unlock(manager_);
+}
+
+sim::Task<void> ReconfigService::manager_loop() {
+  auto& eng = net_.fabric().engine();
+  for (;;) {
+    co_await eng.delay(config_.monitor_interval);
+    co_await manager_step();
+  }
+}
+
+}  // namespace dcs::reconfig

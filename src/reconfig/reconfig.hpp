@@ -1,0 +1,145 @@
+// Dynamic reconfiguration / active resource adaptation (Section 3 & 6 /
+// [4,7]).
+//
+// A pool of application nodes is partitioned among hosted web sites.  A
+// reconfiguration manager watches per-site load through a ResourceMonitor
+// and repurposes nodes from underloaded to overloaded sites.  The paper's
+// three design points are all here:
+//
+//   (i)  concurrency control: the assignment map lives in registered memory
+//        on a home node, guarded by a remote-atomic (CAS) lock, so multiple
+//        managers never double-move a node (no live-lock / starvation);
+//   (ii) history-aware reconfiguration: a site must stay imbalanced for
+//        `history_window` consecutive checks, and a node that just moved is
+//        quarantined for `move_cooldown`, preventing thrashing;
+//   (iii) tunable sensitivity: `imbalance_threshold` and `monitor_interval`
+//        trade reaction time against stability — the fine-grained variant
+//        (millisecond interval + RDMA monitor) is the paper's Section 6
+//        extension.
+//
+// QoS/prioritization ([4]): per-site weights scale the perceived load, so
+// a high-priority site attracts capacity earlier.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "verbs/verbs.hpp"
+
+namespace dcs::reconfig {
+
+using fabric::NodeId;
+
+struct ReconfigConfig {
+  SimNanos monitor_interval = milliseconds(100);
+  double imbalance_threshold = 1.6;   // max/min per-node load ratio to act
+  std::size_t history_window = 2;     // consecutive imbalanced checks needed
+  SimNanos move_cooldown = milliseconds(500);
+  SimNanos node_repurpose_cost = milliseconds(50);  // server restart etc.
+};
+
+/// Section 6 extension: reconfiguration interacts with the caching layer —
+/// blindly repurposing a node throws away (corrupts) its cache.  A
+/// RepurposeCost callback lets the manager pick the donor whose loss hurts
+/// least (e.g. the proxy holding the least valuable cache contents) and
+/// lets the caching layer flush/steer around the victim.
+using RepurposeCost = std::function<double(NodeId)>;
+using RepurposeHook = std::function<void(NodeId, std::uint32_t to_site)>;
+
+struct ReconfigEvent {
+  SimNanos at;
+  NodeId node;
+  std::uint32_t from_site;
+  std::uint32_t to_site;
+};
+
+/// The shared assignment map: site-per-node words in registered memory on a
+/// home node, with a CAS lock word in front.  All access is one-sided.
+class SharedAssignment {
+ public:
+  SharedAssignment(verbs::Network& net, NodeId home,
+                   const std::vector<std::uint32_t>& initial);
+  ~SharedAssignment();
+  SharedAssignment(const SharedAssignment&) = delete;
+  SharedAssignment& operator=(const SharedAssignment&) = delete;
+
+  sim::Task<void> lock(NodeId actor);
+  sim::Task<void> unlock(NodeId actor);
+  /// One RDMA read of the whole map.
+  sim::Task<std::vector<std::uint32_t>> read(NodeId actor);
+  /// One RDMA write of a single entry (hold the lock while writing).
+  sim::Task<void> write(NodeId actor, std::size_t index, std::uint32_t site);
+
+  std::size_t size() const { return size_; }
+
+ private:
+  verbs::Network& net_;
+  NodeId home_;
+  std::size_t size_;
+  verbs::RemoteRegion region_;  // [lock u64][site u32 x size]
+};
+
+class ReconfigService {
+ public:
+  /// `pool` are the repurposable app nodes; site weights give QoS priority
+  /// (default: equal).  The manager runs on `manager_node`.
+  ReconfigService(verbs::Network& net, monitor::ResourceMonitor& mon,
+                  NodeId manager_node, std::vector<NodeId> pool,
+                  std::size_t num_sites, ReconfigConfig config = {},
+                  std::vector<double> site_weights = {},
+                  std::vector<std::uint32_t> initial_assignment = {});
+
+  /// Spawns the manager loop.  Can be called on two services sharing one
+  /// SharedAssignment in tests to exercise concurrency control — here each
+  /// service owns its map, so call once.
+  void start();
+
+  /// Current assignment of `node` (manager's local view).
+  std::uint32_t site_of(NodeId node) const;
+  /// Nodes currently serving `site` and out of repurposing quarantine.
+  std::vector<NodeId> servers_of(std::uint32_t site) const;
+
+  /// Dispatch helper: least-loaded available server of `site` per the
+  /// monitor, falling back to any assigned node.
+  sim::Task<NodeId> pick_server(std::uint32_t site);
+
+  const std::vector<ReconfigEvent>& events() const { return events_; }
+  std::uint64_t reconfigurations() const { return events_.size(); }
+
+  /// One manager iteration (exposed for deterministic unit tests).
+  sim::Task<void> manager_step();
+
+  /// Installs cache-aware donor selection (nullptr reverts to first-fit).
+  void set_repurpose_cost(RepurposeCost cost) {
+    repurpose_cost_ = std::move(cost);
+  }
+  /// Called after every committed move (e.g. so the cache layer can drop
+  /// the victim's contents — the "cache corruption" the paper warns about).
+  void set_repurpose_hook(RepurposeHook hook) {
+    repurpose_hook_ = std::move(hook);
+  }
+
+ private:
+  sim::Task<void> manager_loop();
+  /// Measures per-site mean load via the monitor; returns per-site sums.
+  sim::Task<std::vector<double>> site_loads();
+
+  verbs::Network& net_;
+  monitor::ResourceMonitor& mon_;
+  NodeId manager_;
+  std::vector<NodeId> pool_;
+  std::size_t num_sites_;
+  ReconfigConfig config_;
+  std::vector<double> weights_;
+  SharedAssignment shared_;
+  std::vector<std::uint32_t> assignment_;       // manager's cached view
+  std::vector<SimNanos> available_at_;          // repurposing quarantine
+  std::vector<std::size_t> imbalance_streak_;   // per-site history
+  std::vector<ReconfigEvent> events_;
+  RepurposeCost repurpose_cost_;
+  RepurposeHook repurpose_hook_;
+  bool started_ = false;
+};
+
+}  // namespace dcs::reconfig

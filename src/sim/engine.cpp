@@ -1,0 +1,91 @@
+#include "sim/engine.hpp"
+
+namespace dcs::sim {
+
+Engine::~Engine() {
+  reap_finished();
+  // Destroy any still-live root frames; child frames are owned by parents and
+  // are destroyed transitively.  Queued handles into destroyed frames are
+  // never resumed after this point, so dropping the queue is safe.
+  for (auto& [addr, h] : roots_) h.destroy();
+}
+
+void Engine::schedule(std::coroutine_handle<> h, Time t) {
+  DCS_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Entry{t, seq_++, h});
+}
+
+void Engine::spawn(Task<void> task) {
+  auto h = task.release();
+  DCS_CHECK_MSG(h, "spawn of empty task");
+  h.promise().owner = this;
+  roots_.emplace(h.address(), h);
+  schedule_now(h);
+}
+
+void Engine::on_root_done(std::coroutine_handle<> h, std::exception_ptr error) {
+  auto it = roots_.find(h.address());
+  DCS_CHECK_MSG(it != roots_.end(), "on_root_done for unknown root");
+  roots_.erase(it);
+  finished_.push_back(h);
+  if (error && !error_) {
+    error_ = error;
+    stopped_ = true;
+  }
+}
+
+void Engine::reap_finished() {
+  for (auto h : finished_) h.destroy();
+  finished_.clear();
+}
+
+void Engine::run() { run_until(~Time{0}); }
+
+void Engine::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    const Entry e = queue_.top();
+    if (e.t > t) break;
+    queue_.pop();
+    DCS_CHECK(e.t >= now_);
+    now_ = e.t;
+    ++dispatched_;
+    e.h.resume();
+    reap_finished();
+  }
+  // Virtual time passes up to the bound even if no event lands exactly on it
+  // (unless the loop was stopped early or drained an unbounded run).
+  if (!stopped_ && now_ < t && t != ~Time{0}) now_ = t;
+  if (error_) {
+    auto err = std::exchange(error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+namespace {
+Task<void> run_and_signal(Task<void> task, std::size_t& remaining,
+                          std::coroutine_handle<>& waiter, Engine& eng) {
+  co_await std::move(task);
+  if (--remaining == 0 && waiter) eng.schedule_now(waiter);
+}
+}  // namespace
+
+Task<void> Engine::when_all(std::vector<Task<void>> tasks) {
+  std::size_t remaining = tasks.size();
+  std::coroutine_handle<> waiter;
+  for (auto& t : tasks) {
+    spawn(run_and_signal(std::move(t), remaining, waiter, *this));
+  }
+  tasks.clear();
+  if (remaining > 0) {
+    struct Suspend {
+      std::coroutine_handle<>& slot;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { slot = h; }
+      void await_resume() const noexcept {}
+    };
+    co_await Suspend{waiter};
+  }
+}
+
+}  // namespace dcs::sim

@@ -1,0 +1,115 @@
+// Deterministic discrete-event simulation engine.
+//
+// Single-threaded virtual-time event loop.  Coroutines suspend on awaitables
+// (delays, events, channels, semaphores) and are resumed by the loop in
+// (time, insertion-sequence) order, so every run with the same seed replays
+// identically.  All simulated time is in nanoseconds.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace dcs::sim {
+
+using Time = SimNanos;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const { return now_; }
+
+  /// Schedules a raw coroutine handle to resume at absolute time `t >= now`.
+  void schedule(std::coroutine_handle<> h, Time t);
+  /// Schedules at the current time (runs after already-queued same-time work).
+  void schedule_now(std::coroutine_handle<> h) { schedule(h, now_); }
+
+  /// Launches a detached root process.  The engine owns its frame.
+  void spawn(Task<void> task);
+
+  /// Runs until no events remain.  Rethrows the first root-process exception.
+  void run();
+  /// Runs until the virtual clock would pass `t` (events at exactly `t` run).
+  /// Remaining events stay queued; now() is clamped to `t` on return.
+  void run_until(Time t);
+  /// Requests the loop to stop after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of live spawned root processes (for quiescence checks in tests).
+  std::size_t live_roots() const { return roots_.size(); }
+  /// Total events dispatched (determinism fingerprinting in tests).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+  /// Awaitable: suspend for `d` nanoseconds of virtual time.
+  auto delay(Time d) {
+    struct Awaiter {
+      Engine& eng;
+      Time dur;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        eng.schedule(h, eng.now_ + dur);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: yield to other ready coroutines at the current time.
+  auto yield() { return delay(0); }
+
+  /// Runs all of `tasks` concurrently; completes when the last one does.
+  Task<void> when_all(std::vector<Task<void>> tasks);
+
+  // -- internal hooks (used by Task's final awaiter) --
+  void on_root_done(std::coroutine_handle<> h, std::exception_ptr error);
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Entry& other) const {
+      return t != other.t ? t > other.t : seq > other.seq;
+    }
+  };
+
+  void reap_finished();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<void*, std::coroutine_handle<>> roots_;
+  std::vector<std::coroutine_handle<>> finished_;
+  std::exception_ptr error_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  bool stopped_ = false;
+};
+
+namespace detail {
+
+template <typename Promise>
+std::coroutine_handle<> PromiseBase::FinalAwaiter::await_suspend(
+    std::coroutine_handle<Promise> h) noexcept {
+  auto& promise = h.promise();
+  if (promise.owner != nullptr) {
+    // Root process: hand the frame back to the engine for deferred destruction.
+    promise.owner->on_root_done(h, promise.error);
+    return std::noop_coroutine();
+  }
+  if (promise.continuation) return promise.continuation;
+  return std::noop_coroutine();
+}
+
+}  // namespace detail
+
+}  // namespace dcs::sim

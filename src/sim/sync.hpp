@@ -1,0 +1,222 @@
+// Synchronization primitives for simulated processes.
+//
+// All wake-ups are routed through the engine queue (scheduled at the current
+// virtual time) rather than resumed inline, which keeps stacks shallow and
+// makes wake ordering deterministic (FIFO by enqueue sequence).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+
+namespace dcs::sim {
+
+/// One-shot (resettable) broadcast event.
+class Event {
+ public:
+  explicit Event(Engine& eng) : eng_(eng) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const { return set_; }
+
+  /// Wakes all current waiters and latches the set state.
+  void set() {
+    set_ = true;
+    for (auto h : waiters_) eng_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  /// Un-latches; future wait() calls block again.
+  void reset() { set_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      Event& ev;
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& eng_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool set_ = false;
+};
+
+/// Counting semaphore with FIFO wake order.
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::size_t initial) : eng_(eng), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::size_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() const noexcept {
+        if (sem.count_ > 0) {
+          --sem.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Hand the permit directly to the first waiter.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      eng_.schedule_now(h);
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Engine& eng_;
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Mutual exclusion; RAII guard via `co_await mtx.scoped()`.
+class Mutex {
+ public:
+  explicit Mutex(Engine& eng) : sem_(eng, 1) {}
+
+  auto acquire() { return sem_.acquire(); }
+  void release() { sem_.release(); }
+
+  class Guard {
+   public:
+    explicit Guard(Mutex* m) : m_(m) {}
+    Guard(Guard&& other) noexcept : m_(std::exchange(other.m_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        unlock();
+        m_ = std::exchange(other.m_, nullptr);
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { unlock(); }
+    void unlock() {
+      if (m_ != nullptr) {
+        m_->release();
+        m_ = nullptr;
+      }
+    }
+
+   private:
+    Mutex* m_;
+  };
+
+  Task<Guard> scoped() {
+    co_await acquire();
+    co_return Guard{this};
+  }
+
+ private:
+  Semaphore sem_;
+};
+
+/// FIFO message queue; unbounded unless a capacity is given.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng, std::size_t capacity = 0)
+      : eng_(eng), capacity_(capacity) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Non-suspending push (only valid for unbounded channels).
+  void push(T item) {
+    DCS_CHECK_MSG(capacity_ == 0, "push() on bounded channel; use send()");
+    items_.push_back(std::move(item));
+    wake_one_receiver();
+  }
+
+  /// Suspends while the channel is full (bounded channels only).
+  Task<void> send(T item) {
+    while (capacity_ != 0 && items_.size() >= capacity_) {
+      co_await suspend_on(send_waiters_);
+    }
+    items_.push_back(std::move(item));
+    wake_one_receiver();
+  }
+
+  /// Suspends until an item is available.
+  Task<T> recv() {
+    while (items_.empty()) {
+      co_await suspend_on(recv_waiters_);
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (!send_waiters_.empty()) {
+      eng_.schedule_now(send_waiters_.front());
+      send_waiters_.pop_front();
+    }
+    co_return item;
+  }
+
+  /// Non-suspending receive attempt.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (!send_waiters_.empty()) {
+      eng_.schedule_now(send_waiters_.front());
+      send_waiters_.pop_front();
+    }
+    return item;
+  }
+
+ private:
+  struct ListAwaiter {
+    std::deque<std::coroutine_handle<>>& list;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { list.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  ListAwaiter suspend_on(std::deque<std::coroutine_handle<>>& list) {
+    return ListAwaiter{list};
+  }
+
+  void wake_one_receiver() {
+    if (!recv_waiters_.empty()) {
+      eng_.schedule_now(recv_waiters_.front());
+      recv_waiters_.pop_front();
+    }
+  }
+
+  Engine& eng_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> recv_waiters_;
+  std::deque<std::coroutine_handle<>> send_waiters_;
+};
+
+}  // namespace dcs::sim

@@ -1,0 +1,78 @@
+#include "sockets/tcp.hpp"
+
+namespace dcs::sockets {
+
+namespace {
+constexpr std::size_t kTcpHeaderBytes = 66;  // eth + ip + tcp headers
+}
+
+TcpConnection::TcpConnection(TcpNetwork& net, NodeId a, NodeId b)
+    : net_(net), a_(a), b_(b), to_a_(net.engine()), to_b_(net.engine()) {}
+
+NodeId TcpConnection::peer_of(NodeId self) const {
+  DCS_CHECK(self == a_ || self == b_);
+  return self == a_ ? b_ : a_;
+}
+
+TcpConnection::Dir& TcpConnection::inbound(NodeId self) {
+  DCS_CHECK(self == a_ || self == b_);
+  return self == a_ ? to_a_ : to_b_;
+}
+
+sim::Task<void> TcpConnection::send(NodeId self, std::vector<std::byte> payload) {
+  auto& fab = net_.fabric();
+  const auto& p = fab.params();
+  const NodeId dst = peer_of(self);
+  // Sender kernel path: user->kernel copy + protocol processing (on-CPU).
+  co_await fab.node(self).execute(p.tcp_per_message_cpu +
+                                  p.copy_time(payload.size()));
+  co_await fab.tcp_wire_transfer(self, dst, payload.size() + kTcpHeaderBytes);
+  inbound(dst).queue.push(std::move(payload));
+}
+
+sim::Task<std::vector<std::byte>> TcpConnection::recv(NodeId self) {
+  auto& fab = net_.fabric();
+  const auto& p = fab.params();
+  auto payload = co_await inbound(self).queue.recv();
+  // Interrupt + softirq, then process-context receive: copies the payload to
+  // user space.  Runs through the scheduler, so it queues behind load.
+  co_await fab.engine().delay(p.tcp_interrupt_latency);
+  co_await fab.node(self).execute(p.tcp_per_message_cpu +
+                                  p.copy_time(payload.size()));
+  co_return payload;
+}
+
+sim::Channel<TcpConnection*>& TcpNetwork::backlog(NodeId node,
+                                                  std::uint16_t port) {
+  const PendingKey key{node, port};
+  auto it = backlogs_.find(key);
+  if (it == backlogs_.end()) {
+    it = backlogs_
+             .emplace(key, std::make_unique<sim::Channel<TcpConnection*>>(
+                               engine()))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task<TcpConnection*> TcpNetwork::connect(NodeId client, NodeId server,
+                                              std::uint16_t port) {
+  const auto& p = fab_.params();
+  // SYN / SYN-ACK handshake: one round trip plus kernel work on both ends.
+  co_await fab_.node(client).execute(p.tcp_per_message_cpu);
+  co_await fab_.tcp_wire_transfer(client, server, kTcpHeaderBytes);
+  co_await fab_.node(server).execute(p.tcp_per_message_cpu);
+  co_await fab_.tcp_wire_transfer(server, client, kTcpHeaderBytes);
+
+  conns_.push_back(std::make_unique<TcpConnection>(*this, client, server));
+  TcpConnection* conn = conns_.back().get();
+  backlog(server, port).push(conn);
+  co_return conn;
+}
+
+sim::Task<TcpConnection*> TcpNetwork::accept(NodeId node, std::uint16_t port) {
+  TcpConnection* conn = co_await backlog(node, port).recv();
+  co_return conn;
+}
+
+}  // namespace dcs::sockets

@@ -1,0 +1,98 @@
+// Host-based TCP/IP socket model.
+//
+// This is the baseline transport the paper's framework competes against.
+// Every message charges kernel CPU time on *both* hosts (protocol
+// processing + payload copies), and the receive path runs in process
+// context through the host scheduler — so on a loaded host, replies queue
+// behind other runnable work.  That CPU entanglement is exactly what the
+// RDMA-based designs eliminate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/sync.hpp"
+
+namespace dcs::sockets {
+
+using fabric::NodeId;
+
+class TcpNetwork;
+
+/// A connected, message-oriented TCP stream endpoint pair.
+class TcpConnection {
+ public:
+  TcpConnection(TcpNetwork& net, NodeId a, NodeId b);
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Sends from `self` to the peer. Charges sender kernel CPU + copy, then
+  /// the wire. Completes when the payload is handed to the wire.
+  sim::Task<void> send(NodeId self, std::vector<std::byte> payload);
+
+  /// Receives the next message at `self`. Charges interrupt wake-up plus
+  /// receive-path kernel CPU (schedulable: waits in the run queue under
+  /// load) before returning the payload.
+  sim::Task<std::vector<std::byte>> recv(NodeId self);
+
+  NodeId peer_of(NodeId self) const;
+
+ private:
+  struct Dir {
+    explicit Dir(sim::Engine& eng) : queue(eng) {}
+    sim::Channel<std::vector<std::byte>> queue;
+  };
+  Dir& inbound(NodeId self);
+
+  TcpNetwork& net_;
+  NodeId a_, b_;
+  Dir to_a_, to_b_;
+};
+
+/// Factory for listeners and connections.
+class TcpNetwork {
+ public:
+  explicit TcpNetwork(fabric::Fabric& fab) : fab_(fab) {}
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  fabric::Fabric& fabric() { return fab_; }
+  sim::Engine& engine() { return fab_.engine(); }
+
+  /// Client side: connect to (server, port). Costs one handshake RTT and
+  /// completes once the server has called accept().
+  sim::Task<TcpConnection*> connect(NodeId client, NodeId server,
+                                    std::uint16_t port);
+  /// Server side: waits for the next incoming connection on (node, port).
+  sim::Task<TcpConnection*> accept(NodeId node, std::uint16_t port);
+
+  std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  friend class TcpConnection;
+
+  struct PendingKey {
+    NodeId node;
+    std::uint16_t port;
+    bool operator==(const PendingKey&) const = default;
+  };
+  struct PendingKeyHash {
+    std::size_t operator()(const PendingKey& k) const {
+      return (static_cast<std::size_t>(k.node) << 16) | k.port;
+    }
+  };
+
+  sim::Channel<TcpConnection*>& backlog(NodeId node, std::uint16_t port);
+
+  fabric::Fabric& fab_;
+  std::vector<std::unique_ptr<TcpConnection>> conns_;
+  std::unordered_map<PendingKey, std::unique_ptr<sim::Channel<TcpConnection*>>,
+                     PendingKeyHash>
+      backlogs_;
+};
+
+}  // namespace dcs::sockets

@@ -1,0 +1,93 @@
+// STORM-like query-processing middleware (the application of Figure 3b).
+//
+// STORM is a middleware for SQL-style select/project queries over record
+// sets partitioned across cluster nodes.  A query proceeds in two planes:
+//
+//   control plane:  catalog lookup, query registration, per-batch transfer
+//                   progress state — small, frequent, shared-state accesses.
+//   data plane:     partition scans (CPU per record) and result batches
+//                   shipped to the coordinator over TCP.
+//
+// Two builds of the control plane are provided, identical everywhere else:
+//   kSockets  every state interaction is a TCP round trip to the metadata
+//             service process (traditional STORM), and
+//   kDdss     state lives in the Distributed Data Sharing Substrate and is
+//             accessed with one-sided get/put (STORM-DDSS, [20]).
+//
+// Figure 3b compares query execution time of the two as the record count
+// grows; the paper reports ~19 % improvement for the DDSS build.
+#pragma once
+
+#include <vector>
+
+#include "ddss/ddss.hpp"
+#include "sockets/tcp.hpp"
+
+namespace dcs::storm {
+
+using fabric::NodeId;
+
+enum class ControlPlane { kSockets, kDdss };
+
+const char* to_string(ControlPlane plane);
+
+struct StormConfig {
+  std::size_t record_bytes = 100;
+  SimNanos per_record_cpu = nanoseconds(120);   // scan + predicate eval
+  double selectivity = 0.02;                    // fraction of records hit
+  std::size_t batch_records = 2048;             // result shipping granularity
+  std::uint16_t data_port = 7000;
+  std::uint16_t meta_port = 7001;
+  SimNanos meta_service_cpu = microseconds(25); // catalog/state handling
+};
+
+struct QueryResult {
+  std::uint64_t records_scanned = 0;
+  std::uint64_t records_returned = 0;
+  SimNanos elapsed = 0;
+  std::uint64_t control_ops = 0;
+};
+
+class StormCluster {
+ public:
+  /// `coordinator` runs queries; `meta_node` hosts the catalog service (or
+  /// the DDSS allocations); `data_nodes` hold the partitions.
+  StormCluster(verbs::Network& net, sockets::TcpNetwork& tcp,
+               ControlPlane plane, NodeId coordinator, NodeId meta_node,
+               std::vector<NodeId> data_nodes, StormConfig config = {});
+
+  /// Spawns data-node daemons, the metadata service (sockets build), and
+  /// the DDSS substrate daemons (DDSS build).  Call once.
+  sim::Task<void> start();
+
+  /// Runs one select query over `total_records` spread evenly across the
+  /// data nodes.  Single outstanding query per cluster (as in the bench).
+  sim::Task<QueryResult> run_query(std::uint64_t total_records);
+
+  ControlPlane plane() const { return plane_; }
+
+ private:
+  /// One control-plane interaction from `actor` (catalog read, progress
+  /// update, ...).  Socket build: TCP round trip to the metadata process.
+  /// DDSS build: one-sided put to the shared state.
+  sim::Task<void> control_op(NodeId actor);
+
+  sim::Task<void> metadata_service();
+  sim::Task<void> data_daemon(NodeId node);
+
+  verbs::Network& net_;
+  sockets::TcpNetwork& tcp_;
+  ControlPlane plane_;
+  NodeId coordinator_;
+  NodeId meta_;
+  std::vector<NodeId> data_nodes_;
+  StormConfig config_;
+
+  std::unique_ptr<ddss::Ddss> ddss_;
+  std::vector<ddss::Allocation> state_allocs_;  // one per cluster node
+  std::map<NodeId, sockets::TcpConnection*> meta_conns_;
+  std::uint64_t control_ops_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dcs::storm

@@ -1,0 +1,255 @@
+#include "verbs/verbs.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace dcs::verbs {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 32;  // transport header on payloads
+}
+
+Hca::Hca(Network& net, fabric::Fabric& fab, NodeId node)
+    : net_(net), fab_(fab), node_(node) {}
+
+Network::Network(fabric::Fabric& fab) : fab_(fab) {
+  hcas_.reserve(fab.size());
+  for (std::size_t i = 0; i < fab.size(); ++i) {
+    hcas_.push_back(
+        std::make_unique<Hca>(*this, fab, static_cast<NodeId>(i)));
+  }
+}
+
+// --- registration ---
+
+RemoteRegion Hca::register_region(MemAddr addr, std::size_t len) {
+  DCS_CHECK_MSG(host().memory().in_range(addr, len),
+                "registering unmapped memory");
+  const std::uint32_t rkey = next_rkey_++;
+  regions_.emplace(rkey, Registration{addr, len});
+  return RemoteRegion{node_, addr, len, rkey};
+}
+
+RemoteRegion Hca::allocate_region(std::size_t len) {
+  const MemAddr addr = host().memory().allocate(len);
+  DCS_CHECK_MSG(addr != fabric::kNullAddr, "node memory exhausted");
+  return register_region(addr, len);
+}
+
+void Hca::deregister(std::uint32_t rkey) {
+  const auto erased = regions_.erase(rkey);
+  DCS_CHECK_MSG(erased == 1, "deregister of unknown rkey");
+}
+
+void Hca::free_region(const RemoteRegion& region) {
+  DCS_CHECK_MSG(region.node == node_, "free_region on foreign region");
+  deregister(region.rkey);
+  host().memory().free(region.addr);
+}
+
+std::span<std::byte> Hca::resolve(std::uint32_t rkey, std::size_t offset,
+                                  std::size_t len) {
+  const auto it = regions_.find(rkey);
+  if (it == regions_.end()) {
+    throw RemoteAccessError("remote access error: unknown rkey");
+  }
+  const auto& reg = it->second;
+  if (offset + len > reg.len || offset + len < offset) {
+    throw RemoteAccessError("remote access error: out of registered bounds");
+  }
+  return host().memory().bytes(reg.addr + offset, len);
+}
+
+sim::Task<void> Hca::check_alive(NodeId target) {
+  if (target == node_ || !fab_.node(target).failed()) co_return;
+  // The RC engine retransmits until the retry count is exhausted, then
+  // completes the WQE in error.
+  co_await engine().delay(fab_.params().op_timeout);
+  throw RemoteTimeoutError("remote node " + std::to_string(target) +
+                           " unreachable (retries exhausted)");
+}
+
+// --- one-sided ops ---
+
+sim::Task<void> Hca::read(RemoteRegion target, std::size_t offset,
+                          std::span<std::byte> dst) {
+  ++one_sided_ops_;
+  co_await check_alive(target.node);
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  co_await eng.delay(p.rdma_post_overhead);
+  // Request packet travels to the target HCA.
+  co_await fab_.wire_transfer(node_, target.node,
+                              fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.rdma_target_nic);
+  // Target HCA DMA-reads registered memory *now* — this is the observation
+  // instant; no target CPU is involved.
+  auto src = net_.hca(target.node).resolve(target.rkey, offset, dst.size());
+  std::vector<std::byte> in_flight(src.begin(), src.end());
+  // Response carries the payload back.
+  co_await fab_.wire_transfer(target.node, node_, dst.size() + kHeaderBytes);
+  std::copy(in_flight.begin(), in_flight.end(), dst.begin());
+  co_await eng.delay(p.rdma_completion);
+}
+
+sim::Task<void> Hca::write(RemoteRegion target, std::size_t offset,
+                           std::span<const std::byte> src) {
+  ++one_sided_ops_;
+  co_await check_alive(target.node);
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  co_await eng.delay(p.rdma_post_overhead);
+  // Snapshot the source buffer at post time (HW reads it via DMA then).
+  std::vector<std::byte> in_flight(src.begin(), src.end());
+  co_await fab_.wire_transfer(node_, target.node,
+                              in_flight.size() + kHeaderBytes);
+  co_await eng.delay(p.rdma_target_nic);
+  auto dst = net_.hca(target.node).resolve(target.rkey, offset,
+                                           in_flight.size());
+  std::copy(in_flight.begin(), in_flight.end(), dst.begin());
+  // RC ack back to the initiator completes the work request.
+  co_await fab_.wire_transfer(target.node, node_,
+                              fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.rdma_completion);
+}
+
+sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
+                                               std::size_t offset,
+                                               std::uint64_t compare,
+                                               std::uint64_t swap) {
+  ++one_sided_ops_;
+  co_await check_alive(target.node);
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  if (offset % 8 != 0) {
+    throw RemoteAccessError("atomic requires 8-byte alignment");
+  }
+  co_await eng.delay(p.rdma_post_overhead);
+  co_await fab_.wire_transfer(node_, target.node,
+                              fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.atomic_execute);
+  // The atomic executes instantaneously in virtual time at the target HCA;
+  // single-threaded event dispatch guarantees atomicity.
+  auto bytes = net_.hca(target.node).resolve(target.rkey, offset, 8);
+  std::uint64_t old = 0;
+  std::memcpy(&old, bytes.data(), 8);
+  if (old == compare) {
+    std::memcpy(bytes.data(), &swap, 8);
+  }
+  co_await fab_.wire_transfer(target.node, node_,
+                              fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.rdma_completion);
+  co_return old;
+}
+
+sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
+                                            std::size_t offset,
+                                            std::uint64_t add) {
+  ++one_sided_ops_;
+  co_await check_alive(target.node);
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  if (offset % 8 != 0) {
+    throw RemoteAccessError("atomic requires 8-byte alignment");
+  }
+  co_await eng.delay(p.rdma_post_overhead);
+  co_await fab_.wire_transfer(node_, target.node,
+                              fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.atomic_execute);
+  auto bytes = net_.hca(target.node).resolve(target.rkey, offset, 8);
+  std::uint64_t old = 0;
+  std::memcpy(&old, bytes.data(), 8);
+  const std::uint64_t updated = old + add;
+  std::memcpy(bytes.data(), &updated, 8);
+  co_await fab_.wire_transfer(target.node, node_,
+                              fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.rdma_completion);
+  co_return old;
+}
+
+sim::Task<void> Hca::raw_write(NodeId dst, std::size_t bytes) {
+  ++one_sided_ops_;
+  co_await check_alive(dst);
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  co_await eng.delay(p.rdma_post_overhead);
+  co_await fab_.wire_transfer(node_, dst, bytes + kHeaderBytes);
+  co_await eng.delay(p.rdma_target_nic);
+  co_await fab_.wire_transfer(dst, node_, fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.rdma_completion);
+}
+
+sim::Task<void> Hca::raw_read(NodeId dst, std::size_t bytes) {
+  ++one_sided_ops_;
+  co_await check_alive(dst);
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  co_await eng.delay(p.rdma_post_overhead);
+  co_await fab_.wire_transfer(node_, dst, fabric::FabricParams::kControlBytes);
+  co_await eng.delay(p.rdma_target_nic);
+  co_await fab_.wire_transfer(dst, node_, bytes + kHeaderBytes);
+  co_await eng.delay(p.rdma_completion);
+}
+
+sim::Task<void> Hca::multicast(std::span<const NodeId> group,
+                               std::uint32_t tag,
+                               std::vector<std::byte> payload) {
+  DCS_CHECK_MSG(!group.empty(), "multicast to empty group");
+  ++messages_sent_;
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  co_await eng.delay(p.send_post_overhead);
+  // One serialization at the sender; the switch replicates to all members.
+  {
+    auto guard = co_await host().nic_tx().scoped();
+    co_await eng.delay(p.wire_time(payload.size() + kHeaderBytes));
+  }
+  co_await eng.delay(p.link_latency);
+  for (const NodeId member : group) {
+    if (member == node_) continue;  // loopback suppressed, as in IB MC
+    if (fab_.node(member).failed()) continue;  // MC is unreliable datagram
+    net_.hca(member).deliver(Message{node_, tag, payload});
+  }
+}
+
+// --- two-sided ops ---
+
+sim::Channel<Message>& Hca::queue_for(std::uint32_t tag) {
+  auto it = recv_queues_.find(tag);
+  if (it == recv_queues_.end()) {
+    it = recv_queues_
+             .emplace(tag, std::make_unique<sim::Channel<Message>>(engine()))
+             .first;
+  }
+  return *it->second;
+}
+
+void Hca::deliver(Message msg) { queue_for(msg.tag).push(std::move(msg)); }
+
+sim::Task<void> Hca::send(NodeId dst, std::uint32_t tag,
+                          std::vector<std::byte> payload) {
+  ++messages_sent_;
+  co_await check_alive(dst);
+  auto& eng = engine();
+  const auto& p = fab_.params();
+  co_await eng.delay(p.send_post_overhead);
+  const std::size_t bytes = payload.size() + kHeaderBytes;
+  co_await fab_.wire_transfer(node_, dst, bytes);
+  net_.hca(dst).deliver(Message{node_, tag, std::move(payload)});
+  // RC ack.
+  co_await fab_.wire_transfer(dst, node_, fabric::FabricParams::kControlBytes);
+}
+
+sim::Task<Message> Hca::recv(std::uint32_t tag) {
+  Message msg = co_await queue_for(tag).recv();
+  // Consuming a completion costs a little CPU on the receiving host.
+  co_await host().execute_unsliced(fab_.params().recv_consume_cpu);
+  co_return msg;
+}
+
+std::optional<Message> Hca::try_recv(std::uint32_t tag) {
+  return queue_for(tag).try_recv();
+}
+
+}  // namespace dcs::verbs

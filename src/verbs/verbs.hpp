@@ -1,0 +1,182 @@
+// ibverbs-style RDMA interface over the simulated fabric.
+//
+// Each node owns an `Hca` (host channel adapter).  One-sided operations
+// (read / write / compare-and-swap / fetch-and-add) execute entirely at the
+// NIC level: they move bytes in and out of the target node's registered
+// memory without consuming any target CPU — the property every design in the
+// paper exploits.  Two-sided send/recv delivers tagged messages and charges
+// the receiver a small CPU cost when it consumes them.
+//
+// Remote access is gated by rkeys: operations against an unknown rkey or
+// outside the registered bounds raise RemoteAccessError at the initiator,
+// mirroring IBV_WC_REM_ACCESS_ERR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace dcs::verbs {
+
+using fabric::MemAddr;
+using fabric::NodeId;
+
+/// Remotely-usable handle to a registered memory region.
+struct RemoteRegion {
+  NodeId node = 0;
+  MemAddr addr = fabric::kNullAddr;
+  std::size_t len = 0;
+  std::uint32_t rkey = 0;
+
+  bool valid() const { return addr != fabric::kNullAddr && len > 0; }
+};
+
+/// Raised at the initiator when a one-sided op fails remote validation
+/// (unknown rkey, bounds violation, misaligned atomic).
+class RemoteAccessError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised at the initiator when the target node is down: the RC transport
+/// exhausts its retries and completes the work request in error
+/// (IBV_WC_RETRY_EXC_ERR).  Surfaces after FabricParams::op_timeout.
+class RemoteTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A tagged two-sided message.
+struct Message {
+  NodeId src = 0;
+  std::uint32_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Network;
+
+class Hca {
+ public:
+  Hca(Network& net, fabric::Fabric& fab, NodeId node);
+  Hca(const Hca&) = delete;
+  Hca& operator=(const Hca&) = delete;
+
+  NodeId node_id() const { return node_; }
+  fabric::Node& host() { return fab_.node(node_); }
+  sim::Engine& engine() { return fab_.engine(); }
+
+  // --- memory registration ---
+
+  /// Registers an existing local range for remote access.
+  RemoteRegion register_region(MemAddr addr, std::size_t len);
+  /// Allocates local registered memory and registers it in one step.
+  RemoteRegion allocate_region(std::size_t len);
+  /// Revokes remote access; the rkey becomes invalid immediately.
+  void deregister(std::uint32_t rkey);
+  /// Deregisters and frees memory from allocate_region().
+  void free_region(const RemoteRegion& region);
+
+  std::size_t registered_region_count() const { return regions_.size(); }
+
+  // --- one-sided operations (no target CPU) ---
+
+  sim::Task<void> read(RemoteRegion target, std::size_t offset,
+                       std::span<std::byte> dst);
+  sim::Task<void> write(RemoteRegion target, std::size_t offset,
+                        std::span<const std::byte> src);
+  /// Atomically: old = *p; if (old == compare) *p = swap; returns old.
+  sim::Task<std::uint64_t> compare_and_swap(RemoteRegion target,
+                                            std::size_t offset,
+                                            std::uint64_t compare,
+                                            std::uint64_t swap);
+  /// Atomically: old = *p; *p += add; returns old.
+  sim::Task<std::uint64_t> fetch_and_add(RemoteRegion target,
+                                         std::size_t offset,
+                                         std::uint64_t add);
+
+  /// Timing-only one-sided write: models the full RDMA write cost to `dst`
+  /// without touching registered memory.  Used by transports (SDP, flow
+  /// control) that track payload identity at a higher layer.
+  sim::Task<void> raw_write(NodeId dst, std::size_t bytes);
+  /// Timing-only one-sided read of `bytes` from `dst`.
+  sim::Task<void> raw_read(NodeId dst, std::size_t bytes);
+
+  /// Hardware multicast (the "Multicast" box of the framework's Figure 1):
+  /// one posted send fans out to every group member; the payload crosses
+  /// the sender's NIC once and is replicated by the switch, so the cost is
+  /// one serialization plus one link hop — not a per-receiver unicast
+  /// chain.  Delivered to each member's `tag` mailbox.
+  sim::Task<void> multicast(std::span<const NodeId> group, std::uint32_t tag,
+                            std::vector<std::byte> payload);
+
+  // --- two-sided operations ---
+
+  /// Sends a tagged message; completes when the payload is on the wire and
+  /// acknowledged (RC semantics).
+  sim::Task<void> send(NodeId dst, std::uint32_t tag,
+                       std::vector<std::byte> payload);
+  /// Receives the next message with the given tag (any source); charges the
+  /// receive-path CPU cost on this host.
+  sim::Task<Message> recv(std::uint32_t tag);
+  /// Non-blocking receive attempt (no CPU charged on miss).
+  std::optional<Message> try_recv(std::uint32_t tag);
+
+  // --- statistics ---
+  std::uint64_t one_sided_ops() const { return one_sided_ops_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  friend class Network;
+
+  struct Registration {
+    MemAddr addr;
+    std::size_t len;
+  };
+
+  /// Throws RemoteTimeoutError after the retry window if `target` is down.
+  sim::Task<void> check_alive(NodeId target);
+  /// Target-side validation + execution helpers (run at the target HCA).
+  std::span<std::byte> resolve(std::uint32_t rkey, std::size_t offset,
+                               std::size_t len);
+  void deliver(Message msg);
+  sim::Channel<Message>& queue_for(std::uint32_t tag);
+
+  Network& net_;
+  fabric::Fabric& fab_;
+  NodeId node_;
+  std::uint32_t next_rkey_ = 1;
+  std::unordered_map<std::uint32_t, Registration> regions_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<sim::Channel<Message>>>
+      recv_queues_;
+  std::uint64_t one_sided_ops_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+/// One Hca per fabric node.
+class Network {
+ public:
+  explicit Network(fabric::Fabric& fab);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  fabric::Fabric& fabric() { return fab_; }
+  std::size_t size() const { return hcas_.size(); }
+
+  Hca& hca(NodeId id) {
+    DCS_CHECK_MSG(id < hcas_.size(), "invalid node id");
+    return *hcas_[id];
+  }
+
+ private:
+  fabric::Fabric& fab_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
+};
+
+}  // namespace dcs::verbs

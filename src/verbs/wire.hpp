@@ -1,0 +1,98 @@
+// Tiny serialization helpers for protocol messages.
+//
+// Services encode request/response payloads with Encoder/Decoder; both are
+// bounds-checked so malformed messages fail loudly in tests.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dcs::verbs {
+
+class Encoder {
+ public:
+  Encoder& u8(std::uint8_t v) { return raw(&v, 1); }
+  Encoder& u32(std::uint32_t v) { return raw(&v, 4); }
+  Encoder& u64(std::uint64_t v) { return raw(&v, 8); }
+  Encoder& str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    return raw(s.data(), s.size());
+  }
+  Encoder& bytes(std::span<const std::byte> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    return raw(b.data(), b.size());
+  }
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Encoder& raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+    return *this;
+  }
+  std::vector<std::byte> buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::string str() {
+    const auto n = u32();
+    DCS_CHECK_MSG(pos_ + n <= data_.size(), "decode past end");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::byte> bytes() {
+    const auto n = u32();
+    DCS_CHECK_MSG(pos_ + n <= data_.size(), "decode past end");
+    std::vector<std::byte> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T get() {
+    DCS_CHECK_MSG(pos_ + sizeof(T) <= data_.size(), "decode past end");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Reads a little struct-free u64 out of a raw byte image at `offset`.
+inline std::uint64_t load_u64(std::span<const std::byte> bytes,
+                              std::size_t offset) {
+  DCS_CHECK(offset + 8 <= bytes.size());
+  std::uint64_t v;
+  std::memcpy(&v, bytes.data() + offset, 8);
+  return v;
+}
+
+inline void store_u64(std::span<std::byte> bytes, std::size_t offset,
+                      std::uint64_t v) {
+  DCS_CHECK(offset + 8 <= bytes.size());
+  std::memcpy(bytes.data() + offset, &v, 8);
+}
+
+}  // namespace dcs::verbs

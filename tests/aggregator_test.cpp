@@ -1,0 +1,233 @@
+// Tests for the global memory aggregator: spanning allocation, striping,
+// scatter/gather integrity, bandwidth aggregation, exhaustion/rollback.
+#include <gtest/gtest.h>
+
+#include "ddss/aggregator.hpp"
+
+namespace dcs::ddss {
+namespace {
+
+struct AggFixture : ::testing::Test {
+  sim::Engine eng;
+  fabric::Fabric fab{eng, fabric::FabricParams{},
+                     {.num_nodes = 5, .cores_per_node = 2,
+                      .mem_per_node = 2u << 20}};
+  verbs::Network net{fab};
+  // Node 0 is the consumer; 1..4 donate memory.
+  GlobalAggregator agg{net, {1, 2, 3, 4}};
+
+  template <typename F>
+  void run(F&& coro_factory) {
+    eng.spawn(coro_factory());
+    eng.run();
+  }
+};
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 37 + i * 11) & 0xff);
+  }
+  return v;
+}
+
+TEST_F(AggFixture, SmallExtentSingleDonor) {
+  run([this]() -> sim::Task<void> {
+    auto extent = co_await agg.allocate(4096);
+    EXPECT_TRUE(extent.valid());
+    EXPECT_EQ(extent.pieces.size(), 1u);
+    co_await agg.release(std::move(extent));
+  });
+}
+
+TEST_F(AggFixture, LargeExtentSpansDonors) {
+  run([this]() -> sim::Task<void> {
+    // 6 MB cannot fit in one 2 MB donor.
+    auto extent = co_await agg.allocate(6u << 20);
+    EXPECT_GE(extent.pieces.size(), 2u);
+    std::size_t total = 0;
+    std::vector<bool> donor_seen(6, false);
+    for (const auto& p : extent.pieces) {
+      total += p.len;
+      donor_seen[p.node] = true;
+    }
+    EXPECT_EQ(total, 6u << 20);
+    int donors = 0;
+    for (bool b : donor_seen) donors += b;
+    EXPECT_GE(donors, 2);
+    co_await agg.release(std::move(extent));
+  });
+}
+
+TEST_F(AggFixture, WriteReadRoundTripAcrossPieces) {
+  run([this]() -> sim::Task<void> {
+    auto extent = co_await agg.allocate(5u << 20);  // spans donors
+    const auto data = pattern(5u << 20);
+    co_await agg.write(0, extent, 0, data);
+    std::vector<std::byte> readback(5u << 20);
+    co_await agg.read(0, extent, 0, readback);
+    EXPECT_EQ(readback, data);
+    co_await agg.release(std::move(extent));
+  });
+}
+
+TEST_F(AggFixture, PartialAccessAtPieceBoundary) {
+  run([this]() -> sim::Task<void> {
+    GlobalAggregator small(net, {1, 2, 3, 4},
+                           {.stripe_bytes = 1024, .max_piece_bytes = 1024});
+    auto extent = co_await small.allocate(8192, /*striped=*/true);
+    EXPECT_EQ(extent.pieces.size(), 8u);
+    // Write 100 bytes straddling the 1024-byte piece boundary.
+    const auto data = pattern(100, 9);
+    co_await small.write(0, extent, 1000, data);
+    std::vector<std::byte> readback(100);
+    co_await small.read(0, extent, 1000, readback);
+    EXPECT_EQ(readback, data);
+    // Neighbours must be untouched.
+    std::vector<std::byte> before(8);
+    co_await small.read(0, extent, 992, before);
+    for (auto b : before) EXPECT_EQ(b, std::byte{0});
+    co_await small.release(std::move(extent));
+  });
+}
+
+TEST_F(AggFixture, StripingSpreadsAcrossDonors) {
+  run([this]() -> sim::Task<void> {
+    GlobalAggregator striped(net, {1, 2, 3, 4}, {.stripe_bytes = 64 * 1024});
+    auto extent = co_await striped.allocate(512 * 1024, /*striped=*/true);
+    std::vector<int> per_donor(6, 0);
+    for (const auto& p : extent.pieces) per_donor[p.node]++;
+    for (fabric::NodeId d = 1; d <= 4; ++d) {
+      EXPECT_EQ(per_donor[d], 2) << "donor " << d;
+    }
+    co_await striped.release(std::move(extent));
+  });
+}
+
+TEST_F(AggFixture, StripedReadFasterThanLinear) {
+  // The same 1 MB read fans out over 4 donor NICs when striped, vs a
+  // single donor serialization when linear: bandwidth aggregation.
+  SimNanos linear_time = 0, striped_time = 0;
+  run([this, &linear_time, &striped_time]() -> sim::Task<void> {
+    auto linear = co_await agg.allocate(1u << 20, /*striped=*/false);
+    GlobalAggregator sagg(net, {1, 2, 3, 4}, {.stripe_bytes = 64 * 1024});
+    auto striped = co_await sagg.allocate(1u << 20, /*striped=*/true);
+
+    std::vector<std::byte> buf(1u << 20);
+    auto t0 = eng.now();
+    co_await agg.read(0, linear, 0, buf);
+    linear_time = eng.now() - t0;
+    t0 = eng.now();
+    co_await sagg.read(0, striped, 0, buf);
+    striped_time = eng.now() - t0;
+
+    co_await agg.release(std::move(linear));
+    co_await sagg.release(std::move(striped));
+  });
+  EXPECT_LT(striped_time * 2, linear_time);
+}
+
+TEST_F(AggFixture, ReleaseReturnsMemoryToDonors) {
+  const auto free_before = agg.free_bytes();
+  run([this, free_before]() -> sim::Task<void> {
+    auto extent = co_await agg.allocate(3u << 20);
+    EXPECT_LT(agg.free_bytes(), free_before);
+    co_await agg.release(std::move(extent));
+  });
+  EXPECT_EQ(agg.free_bytes(), free_before);
+}
+
+TEST_F(AggFixture, ExhaustionThrowsAndRollsBack) {
+  const auto free_before = agg.free_bytes();
+  bool threw = false;
+  run([this, &threw]() -> sim::Task<void> {
+    try {
+      // More than all donors together (~8 MB minus kernel pages).
+      (void)co_await agg.allocate(64u << 20);
+    } catch (const AggregatorError&) {
+      threw = true;
+    }
+  });
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(agg.free_bytes(), free_before) << "partial pieces must roll back";
+}
+
+TEST_F(AggFixture, ManySmallExtentsCoexist) {
+  run([this]() -> sim::Task<void> {
+    std::vector<GlobalExtent> extents;
+    for (int i = 0; i < 20; ++i) {
+      extents.push_back(co_await agg.allocate(64 * 1024));
+      const auto data = pattern(64, static_cast<std::uint8_t>(i));
+      co_await agg.write(0, extents.back(), 0, data);
+    }
+    for (int i = 0; i < 20; ++i) {
+      std::vector<std::byte> buf(64);
+      co_await agg.read(0, extents[static_cast<std::size_t>(i)], 0, buf);
+      EXPECT_EQ(buf, pattern(64, static_cast<std::uint8_t>(i))) << i;
+    }
+    for (auto& e : extents) co_await agg.release(std::move(e));
+  });
+}
+
+
+TEST_F(AggFixture, ConcurrentReadersFromDifferentNodes) {
+  // Multiple consumer nodes read disjoint windows of a shared striped
+  // extent concurrently; all must see the written pattern.
+  run([this]() -> sim::Task<void> {
+    GlobalAggregator sagg(net, {1, 2, 3, 4}, {.stripe_bytes = 32 * 1024});
+    auto extent = co_await sagg.allocate(512 * 1024, /*striped=*/true);
+    const auto data = pattern(512 * 1024, 3);
+    co_await sagg.write(0, extent, 0, data);
+
+    int bad = 0;
+    std::vector<sim::Task<void>> readers;
+    for (fabric::NodeId reader = 0; reader < 4; ++reader) {
+      readers.push_back([](GlobalAggregator& a, const GlobalExtent& e,
+                           const std::vector<std::byte>& expect,
+                           fabric::NodeId self, int& errors)
+                            -> sim::Task<void> {
+        const std::size_t window = 128 * 1024;
+        const std::size_t off = self * window;
+        std::vector<std::byte> buf(window);
+        co_await a.read(self, e, off, buf);
+        for (std::size_t i = 0; i < window; ++i) {
+          if (buf[i] != expect[off + i]) {
+            ++errors;
+            break;
+          }
+        }
+      }(sagg, extent, data, reader, bad));
+    }
+    co_await eng.when_all(std::move(readers));
+    DCS_CHECK(bad == 0);
+    co_await sagg.release(std::move(extent));
+  });
+}
+
+TEST_F(AggFixture, InterleavedWritesToDisjointWindows) {
+  run([this]() -> sim::Task<void> {
+    auto extent = co_await agg.allocate(256 * 1024);
+    std::vector<sim::Task<void>> writers;
+    for (int wtr = 0; wtr < 4; ++wtr) {
+      writers.push_back([](GlobalAggregator& a, const GlobalExtent& e,
+                           int self) -> sim::Task<void> {
+        const auto data =
+            pattern(64 * 1024, static_cast<std::uint8_t>(40 + self));
+        co_await a.write(0, e, static_cast<std::size_t>(self) * 64 * 1024,
+                         data);
+      }(agg, extent, wtr));
+    }
+    co_await eng.when_all(std::move(writers));
+    for (int wtr = 0; wtr < 4; ++wtr) {
+      std::vector<std::byte> buf(64 * 1024);
+      co_await agg.read(0, extent, static_cast<std::size_t>(wtr) * 64 * 1024,
+                        buf);
+      DCS_CHECK(buf == pattern(64 * 1024,
+                               static_cast<std::uint8_t>(40 + wtr)));
+    }
+    co_await agg.release(std::move(extent));
+  });
+}
+
+}  // namespace
+}  // namespace dcs::ddss

@@ -1,0 +1,89 @@
+// End-to-end determinism regression: a complete multi-tier data-center
+// experiment (clients -> proxies+cooperative cache -> backend, with
+// monitoring running alongside) must replay bit-identically — same virtual
+// end time, same event count, same TPS, same hit counts.  This is the
+// repository's reproducibility contract at experiment scale, not just
+// engine scale.
+#include <gtest/gtest.h>
+
+#include "cache/coop_cache.hpp"
+#include "common/zipf.hpp"
+#include "datacenter/clients.hpp"
+#include "datacenter/webfarm.hpp"
+#include "monitor/monitor.hpp"
+
+namespace dcs {
+namespace {
+
+struct Fingerprint {
+  SimNanos end_time;
+  std::uint64_t events;
+  std::uint64_t completed;
+  double tps;
+  std::uint64_t local_hits;
+  std::uint64_t remote_hits;
+  std::uint64_t misses;
+  std::uint64_t wire_bytes;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_experiment(std::uint64_t seed) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  datacenter::DocumentStore store({.num_docs = 120, .doc_bytes = 8192});
+  datacenter::BackendService backend(tcp, store, {5});
+  backend.start();
+  cache::CoopCacheService coop(net, backend, store, cache::Scheme::kHYBCC,
+                               {1, 2}, {3, 4},
+                               {.capacity_per_node = 256 * 1024});
+  datacenter::WebFarm farm(tcp, {1, 2}, coop.handler());
+  farm.start();
+  monitor::ResourceMonitor mon(net, tcp, 0, {1, 2},
+                               monitor::MonScheme::kRdmaAsync,
+                               {.async_interval = milliseconds(2)});
+  mon.start();
+
+  datacenter::ClientFarm clients(tcp, {0}, farm.proxies(), store,
+                                 {.sessions = 6});
+  ZipfTrace trace(store.num_docs(), 0.8, 600, seed);
+  eng.spawn(clients.run({trace.requests().begin(), trace.requests().end()}));
+  eng.run_until(seconds(30));
+
+  return Fingerprint{eng.now(),
+                     eng.events_dispatched(),
+                     clients.stats().completed,
+                     clients.stats().tps(),
+                     coop.stats().local_hits,
+                     coop.stats().remote_hits,
+                     coop.stats().misses,
+                     fab.bytes_transferred()};
+}
+
+TEST(DeterminismTest, FullDatacenterExperimentReplaysBitIdentically) {
+  const auto a = run_experiment(12345);
+  const auto b = run_experiment(12345);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.completed, 600u);
+}
+
+TEST(DeterminismTest, DifferentSeedsProduceDifferentRunsSameInvariants) {
+  const auto a = run_experiment(1);
+  const auto b = run_experiment(2);
+  EXPECT_NE(a.events, b.events) << "different traces should diverge";
+  EXPECT_EQ(a.completed, 600u);
+  EXPECT_EQ(b.completed, 600u);
+}
+
+TEST(DeterminismTest, ThreeConsecutiveRunsStable) {
+  const auto first = run_experiment(777);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(run_experiment(777), first) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dcs

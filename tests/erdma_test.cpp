@@ -1,0 +1,106 @@
+// Tests for the enhanced RDMA-Sync monitor: the utilization component must
+// discriminate states that raw run-queue length cannot.
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.hpp"
+
+namespace dcs::monitor {
+namespace {
+
+struct EWorld {
+  sim::Engine eng;
+  fabric::Fabric fab;
+  verbs::Network net;
+  sockets::TcpNetwork tcp;
+  ResourceMonitor mon;
+
+  explicit EWorld(MonScheme scheme)
+      : fab(eng, fabric::FabricParams{},
+            {.num_nodes = 3, .cores_per_node = 1}),
+        net(fab),
+        tcp(fab),
+        mon(net, tcp, 0, {1, 2}, scheme) {
+    mon.start();
+  }
+};
+
+// Node 1: one CPU-saturating job (runnable = 1, utilization = 100 %).
+// Node 2: one job that sleeps most of the time (runnable counts it while
+// running; utilization ~ 10 %).
+void start_contrasting_load(EWorld& w) {
+  w.eng.spawn(w.fab.node(1).execute(seconds(2)));  // saturating
+  w.eng.spawn([](EWorld& world) -> sim::Task<void> {
+    while (world.eng.now() < seconds(2)) {
+      co_await world.fab.node(2).execute(microseconds(100));
+      co_await world.eng.delay(microseconds(900));
+    }
+  }(w));
+}
+
+TEST(ERdmaTest, UtilizationSeparatesEquallyRunnableNodes) {
+  EWorld w(MonScheme::kERdmaSync);
+  start_contrasting_load(w);
+  double load1 = 0, load2 = 0;
+  w.eng.spawn([](EWorld& world, double& l1, double& l2) -> sim::Task<void> {
+    // Two queries per node: the first primes the busy_ns baseline, the
+    // second measures utilization over the interval.
+    (void)co_await world.mon.load_estimate(1);
+    (void)co_await world.mon.load_estimate(2);
+    co_await world.eng.delay(milliseconds(50));
+    l1 = co_await world.mon.load_estimate(1);
+    l2 = co_await world.mon.load_estimate(2);
+  }(w, load1, load2));
+  w.eng.run_until(seconds(1));
+  // Node 1 is pegged: runnable 1 + utilization ~1 => ~2.
+  EXPECT_GT(load1, 1.5);
+  // Node 2 is mostly idle: estimate well below node 1's.
+  EXPECT_LT(load2, load1 - 0.5);
+}
+
+TEST(ERdmaTest, PlainRdmaSyncCannotSeparateThem) {
+  // Sampled at an instant when both jobs happen to be on-CPU, the plain
+  // run-queue metric calls them equal — the blind spot e-RDMA removes.
+  EWorld w(MonScheme::kRdmaSync);
+  start_contrasting_load(w);
+  double load1 = -1, load2 = -1;
+  w.eng.spawn([](EWorld& world, double& l1, double& l2) -> sim::Task<void> {
+    // Sample while node 2's duty-cycle job is running (first 100 us of
+    // each 1 ms period).
+    co_await world.eng.delay(milliseconds(50) + microseconds(20));
+    l1 = co_await world.mon.load_estimate(1);
+    l2 = co_await world.mon.load_estimate(2);
+  }(w, load1, load2));
+  w.eng.run_until(seconds(1));
+  EXPECT_EQ(load1, load2) << "instantaneous runnable is blind to duty cycle";
+}
+
+TEST(ERdmaTest, FirstQueryFallsBackToRunnable) {
+  EWorld w(MonScheme::kERdmaSync);
+  w.eng.spawn(w.fab.node(1).execute(milliseconds(100)));
+  double load = -1;
+  w.eng.spawn([](EWorld& world, double& l) -> sim::Task<void> {
+    co_await world.eng.delay(milliseconds(1));
+    l = co_await world.mon.load_estimate(1);
+  }(w, load));
+  w.eng.run_until(milliseconds(50));
+  // No previous sample to diff against: estimate equals runnable exactly.
+  EXPECT_EQ(load, 1.0);
+}
+
+TEST(ERdmaTest, UtilizationBoundedByCoreCount) {
+  EWorld w(MonScheme::kERdmaSync);
+  for (int j = 0; j < 5; ++j) w.eng.spawn(w.fab.node(1).execute(seconds(1)));
+  double load = 0;
+  w.eng.spawn([](EWorld& world, double& l) -> sim::Task<void> {
+    (void)co_await world.mon.load_estimate(1);
+    co_await world.eng.delay(milliseconds(40));
+    l = co_await world.mon.load_estimate(1);
+  }(w, load));
+  w.eng.run_until(milliseconds(200));
+  // runnable 5 + utilization <= 1 (single core).
+  EXPECT_GE(load, 5.0);
+  EXPECT_LE(load, 6.01);
+}
+
+}  // namespace
+}  // namespace dcs::monitor

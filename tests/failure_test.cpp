@@ -1,0 +1,203 @@
+// Failure-injection tests: node outages surface as initiator-side
+// timeouts, and every service degrades instead of wedging — caches fall
+// back to the backend and repair their soft state, monitors exclude dead
+// nodes from dispatch, the remote pager falls back to disk.
+#include <gtest/gtest.h>
+
+#include "cache/coop_cache.hpp"
+#include "cache/remote_pager.hpp"
+#include "ddss/ddss.hpp"
+#include "verbs/wire.hpp"
+#include "monitor/monitor.hpp"
+#include "verbs/verbs.hpp"
+
+namespace dcs {
+namespace {
+
+// --- verbs-level semantics --------------------------------------------------
+
+struct FailFixture : ::testing::Test {
+  sim::Engine eng;
+  fabric::Fabric fab{eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .cores_per_node = 2,
+                      .mem_per_node = 2u << 20}};
+  verbs::Network net{fab};
+};
+
+TEST_F(FailFixture, OpsAgainstFailedNodeTimeOut) {
+  auto region = net.hca(1).allocate_region(64);
+  fab.node(1).fail();
+  int timeouts = 0;
+  SimNanos elapsed = 0;
+  eng.spawn([](verbs::Network& n, sim::Engine& e, verbs::RemoteRegion r,
+               int& count, SimNanos& t) -> sim::Task<void> {
+    std::vector<std::byte> buf(8);
+    const auto t0 = e.now();
+    for (int i = 0; i < 3; ++i) {
+      try {
+        if (i == 0) co_await n.hca(0).read(r, 0, buf);
+        if (i == 1) co_await n.hca(0).write(r, 0, buf);
+        if (i == 2) (void)co_await n.hca(0).fetch_and_add(r, 0, 1);
+      } catch (const verbs::RemoteTimeoutError&) {
+        ++count;
+      }
+    }
+    t = e.now() - t0;
+  }(net, eng, region, timeouts, elapsed));
+  eng.run();
+  EXPECT_EQ(timeouts, 3);
+  // Each op burned roughly the retry window, not forever.
+  EXPECT_GE(elapsed, 3 * fab.params().op_timeout);
+  EXPECT_LT(elapsed, 10 * fab.params().op_timeout);
+}
+
+TEST_F(FailFixture, RecoveryRestoresService) {
+  auto region = net.hca(1).allocate_region(8);
+  fab.node(1).fail();
+  bool first_failed = false, second_ok = false;
+  eng.spawn([](verbs::Network& n, fabric::Fabric& f, verbs::RemoteRegion r,
+               bool& fail1, bool& ok2) -> sim::Task<void> {
+    std::vector<std::byte> buf(8);
+    try {
+      co_await n.hca(0).read(r, 0, buf);
+    } catch (const verbs::RemoteTimeoutError&) {
+      fail1 = true;
+    }
+    f.node(1).recover();
+    co_await n.hca(0).read(r, 0, buf);
+    ok2 = true;
+  }(net, fab, region, first_failed, second_ok));
+  eng.run();
+  EXPECT_TRUE(first_failed);
+  EXPECT_TRUE(second_ok);
+}
+
+TEST_F(FailFixture, MulticastSkipsDeadMembers) {
+  fab.node(2).fail();
+  eng.spawn([](verbs::Network& n) -> sim::Task<void> {
+    const std::vector<fabric::NodeId> group = {1, 2, 3};
+    co_await n.hca(0).multicast(group, 0xAB,
+                                verbs::Encoder().u8(1).take());
+  }(net));
+  eng.run();
+  EXPECT_TRUE(net.hca(1).try_recv(0xAB).has_value());
+  EXPECT_FALSE(net.hca(2).try_recv(0xAB).has_value());
+  EXPECT_TRUE(net.hca(3).try_recv(0xAB).has_value());
+}
+
+// --- service degradation -----------------------------------------------------
+
+TEST(FailureServiceTest, CoopCacheSurvivesHolderFailure) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  datacenter::DocumentStore store({.num_docs = 30, .doc_bytes = 4096});
+  datacenter::BackendService backend(tcp, store, {5});
+  backend.start();
+  cache::CoopCacheService cache(net, backend, store, cache::Scheme::kBCC,
+                                {1, 2}, {}, {.capacity_per_node = 1u << 20});
+  bool all_correct = true;
+  eng.spawn([](fabric::Fabric& f, cache::CoopCacheService& c,
+               const datacenter::DocumentStore& s, bool& ok)
+                -> sim::Task<void> {
+    // Proxy 1 caches docs 0..9.
+    for (datacenter::DocId d = 0; d < 10; ++d) {
+      (void)co_await c.serve(1, d);
+    }
+    f.node(1).fail();  // the holder dies
+    // Proxy 2 requests the same docs: directory points at the dead holder;
+    // fetches must time out, fall back to the backend, and stay correct.
+    for (datacenter::DocId d = 0; d < 10; ++d) {
+      const auto body = co_await c.serve(2, d);
+      if (!s.verify(d, body)) ok = false;
+    }
+  }(fab, cache, store, all_correct));
+  eng.run();
+  EXPECT_TRUE(all_correct);
+  // The dead holder was purged from the directory (soft-state repair).
+  EXPECT_EQ(cache.cached_bytes(1), 0u);
+  EXPECT_EQ(cache.audit(), "");
+}
+
+TEST(FailureServiceTest, DispatcherRoutesAroundDeadNode) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .cores_per_node = 1});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  monitor::ResourceMonitor mon(net, tcp, 0, {1, 2, 3},
+                               monitor::MonScheme::kRdmaSync);
+  mon.start();
+  monitor::MonitoredDispatcher disp(net, mon);
+  fab.node(2).fail();
+  eng.spawn([](sim::Engine& e, monitor::MonitoredDispatcher& d)
+                -> sim::Task<void> {
+    for (int i = 0; i < 12; ++i) {
+      co_await d.dispatch(microseconds(300), 512);
+      co_await e.delay(microseconds(100));
+    }
+  }(eng, disp));
+  eng.run();
+  EXPECT_EQ(disp.completed(), 12u);
+  EXPECT_EQ(fab.node(2).busy_ns(), 0u) << "dead node must get no work";
+  EXPECT_GT(fab.node(1).busy_ns(), 0u);
+  EXPECT_GT(fab.node(3).busy_ns(), 0u);
+}
+
+TEST(FailureServiceTest, RemotePagerFallsBackToDisk) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 3, .mem_per_node = 8u << 20});
+  verbs::Network net(fab);
+  cache::RemoteBlockCache pager(net, 0, {1, 2},
+                                {.block_bytes = 4096,
+                                 .local_capacity = 16 * 1024});
+  bool all_correct = true;
+  eng.spawn([](fabric::Fabric& f, cache::RemoteBlockCache& c,
+               bool& ok) -> sim::Task<void> {
+    // Build up remote victims across both servers.
+    for (std::uint64_t b = 0; b < 12; ++b) (void)co_await c.read_block(b);
+    f.node(1).fail();
+    f.node(2).fail();
+    // Every block must still be readable (via disk) and correct.
+    for (std::uint64_t b = 0; b < 12; ++b) {
+      const auto body = co_await c.read_block(b);
+      if (body != c.disk_content(b)) ok = false;
+    }
+  }(fab, pager, all_correct));
+  eng.run();
+  EXPECT_TRUE(all_correct);
+  EXPECT_EQ(pager.remote_blocks(), 0u) << "dead servers' slots forgotten";
+}
+
+TEST(FailureServiceTest, DdssTemporalInvalidationToleratesDeadSharer) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .mem_per_node = 1u << 20});
+  verbs::Network net(fab);
+  ddss::Ddss substrate(net, {.temporal_ttl = seconds(10),
+                        .temporal_write_invalidate = true});
+  substrate.start();
+  bool ok = false;
+  eng.spawn([](fabric::Fabric& f, ddss::Ddss& d, bool& done)
+                -> sim::Task<void> {
+    auto writer = d.client(0);
+    auto a = co_await writer.allocate(8, ddss::Coherence::kTemporal);
+    co_await writer.put(a, std::vector<std::byte>(8, std::byte{1}));
+    auto reader2 = d.client(2);
+    std::vector<std::byte> buf(8);
+    co_await reader2.get(a, buf);  // node 2 becomes a sharer
+    f.node(2).fail();
+    // The invalidating put must not wedge on the dead sharer (multicast is
+    // an unreliable datagram — it just skips it).
+    co_await writer.put(a, std::vector<std::byte>(8, std::byte{2}));
+    done = true;
+  }(fab, substrate, ok));
+  eng.run_until(seconds(1));
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,183 @@
+// Full-stack integration tests: all three framework layers running
+// together in one simulated data-center (the paper's Section 6 integrated
+// environment), at test scale.
+#include <gtest/gtest.h>
+
+#include "cache/coop_cache.hpp"
+#include "common/zipf.hpp"
+#include "datacenter/clients.hpp"
+#include "datacenter/webfarm.hpp"
+#include "ddss/ddss.hpp"
+#include "dlm/ncosed.hpp"
+#include "monitor/monitor.hpp"
+#include "reconfig/reconfig.hpp"
+
+namespace dcs {
+namespace {
+
+TEST(IntegrationTest, FullWebStackServesZipfTraceCorrectly) {
+  // clients(0) -> proxies(1,2) with HYBCC -> backend(5); DDSS and the
+  // monitor run alongside on the same fabric.
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+
+  datacenter::DocumentStore store({.num_docs = 200, .doc_bytes = 8192});
+  datacenter::BackendService backend(tcp, store, {5});
+  backend.start();
+  cache::CoopCacheService coop(net, backend, store, cache::Scheme::kHYBCC,
+                               {1, 2}, {3, 4},
+                               {.capacity_per_node = 512 * 1024});
+  datacenter::WebFarm farm(tcp, {1, 2}, coop.handler());
+  farm.start();
+  monitor::ResourceMonitor mon(net, tcp, 0, {1, 2},
+                               monitor::MonScheme::kRdmaSync);
+  mon.start();
+
+  datacenter::ClientFarm clients(tcp, {0}, farm.proxies(), store,
+                                 {.sessions = 6});
+  ZipfTrace trace(store.num_docs(), 0.8, 800, 31);
+  eng.spawn(clients.run({trace.requests().begin(), trace.requests().end()}));
+
+  // Monitoring runs concurrently and observes real proxy load.
+  std::uint64_t peak_runnable = 0;
+  eng.spawn([](sim::Engine& e, monitor::ResourceMonitor& m,
+               std::uint64_t& peak) -> sim::Task<void> {
+    for (int i = 0; i < 40; ++i) {
+      co_await e.delay(milliseconds(1));
+      const auto s = co_await m.query(1);
+      peak = std::max(peak, s.stats.runnable);
+    }
+  }(eng, mon, peak_runnable));
+
+  eng.run();
+  EXPECT_EQ(clients.stats().completed, 800u);
+  EXPECT_EQ(clients.stats().integrity_failures, 0u);
+  EXPECT_GT(coop.stats().hit_rate(), 0.3);
+  EXPECT_GT(peak_runnable, 0u) << "monitor should see the serving load";
+}
+
+TEST(IntegrationTest, DdssLocksAndCacheShareOneFabric) {
+  // The primitives must compose: DDSS state updates guarded by N-CoSED
+  // locks while the caching tier hammers the same fabric.
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+
+  ddss::Ddss substrate(net);
+  substrate.start();
+  dlm::NcosedLockManager locks(net, 0);
+
+  datacenter::DocumentStore store({.num_docs = 60, .doc_bytes = 8192});
+  datacenter::BackendService backend(tcp, store, {5});
+  backend.start();
+  cache::CoopCacheService coop(net, backend, store, cache::Scheme::kBCC,
+                               {1, 2}, {}, {.capacity_per_node = 256 * 1024});
+
+  // Background cache traffic.
+  for (int c = 0; c < 3; ++c) {
+    eng.spawn([](sim::Engine& e, cache::CoopCacheService& cc, int id)
+                  -> sim::Task<void> {
+      Rng rng(600 + id);
+      for (int i = 0; i < 60; ++i) {
+        (void)co_await cc.serve(static_cast<fabric::NodeId>(1 + (id % 2)),
+                                static_cast<datacenter::DocId>(
+                                    rng.uniform(60)));
+        co_await e.delay(microseconds(50));
+      }
+    }(eng, coop, c));
+  }
+
+  // Locked counter in DDSS updated from three nodes.
+  ddss::Allocation counter_alloc;
+  eng.spawn([](ddss::Ddss& d, ddss::Allocation& a) -> sim::Task<void> {
+    auto c = d.client(0);
+    a = co_await c.allocate(8, ddss::Coherence::kNull);
+    std::vector<std::byte> zero(8, std::byte{0});
+    co_await c.put(a, zero);
+  }(substrate, counter_alloc));
+  eng.run();
+
+  constexpr int kIncrementsPerNode = 20;
+  for (fabric::NodeId n = 1; n <= 3; ++n) {
+    eng.spawn([](ddss::Ddss& d, dlm::NcosedLockManager& l, fabric::NodeId self,
+                 const ddss::Allocation& a) -> sim::Task<void> {
+      auto c = d.client(self);
+      for (int i = 0; i < kIncrementsPerNode; ++i) {
+        co_await l.lock_exclusive(self, 9);
+        std::vector<std::byte> buf(8);
+        co_await c.get(a, buf);
+        std::uint64_t v;
+        std::memcpy(&v, buf.data(), 8);
+        ++v;
+        std::memcpy(buf.data(), &v, 8);
+        co_await c.put(a, buf);
+        co_await l.unlock(self, 9);
+      }
+    }(substrate, locks, n, counter_alloc));
+  }
+  eng.run();
+
+  std::uint64_t final_count = 0;
+  eng.spawn([](ddss::Ddss& d, const ddss::Allocation& a,
+               std::uint64_t& out) -> sim::Task<void> {
+    auto c = d.client(0);
+    std::vector<std::byte> buf(8);
+    co_await c.get(a, buf);
+    std::memcpy(&out, buf.data(), 8);
+  }(substrate, counter_alloc, final_count));
+  eng.run();
+  EXPECT_EQ(final_count, 3u * kIncrementsPerNode)
+      << "lost updates under lock -> locking or DDSS broken";
+}
+
+TEST(IntegrationTest, ReconfigurationKeepsServiceAvailableDuringMoves) {
+  // Requests must keep completing while nodes are being repurposed.
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6, .cores_per_node = 1});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  monitor::ResourceMonitor mon(net, tcp, 0, {1, 2, 3, 4},
+                               monitor::MonScheme::kRdmaSync);
+  mon.start();
+  reconfig::ReconfigService svc(
+      net, mon, 0, {1, 2, 3, 4}, 2,
+      {.monitor_interval = milliseconds(10),
+       .imbalance_threshold = 1.4,
+       .history_window = 1,
+       .move_cooldown = milliseconds(30)});
+  svc.start();
+
+  int completed = 0;
+  bool no_server_error = true;
+  // Site-0 spike keeps the manager busy moving nodes back and forth.
+  eng.spawn([](sim::Engine& e, fabric::Fabric& f,
+               reconfig::ReconfigService& s, int& done, bool& ok)
+                -> sim::Task<void> {
+    for (int i = 0; i < 300; ++i) {
+      const std::uint32_t site = i % 5 == 0 ? 1u : 0u;
+      try {
+        const auto server = co_await s.pick_server(site);
+        co_await f.node(server).execute(microseconds(600));
+        ++done;
+      } catch (...) {
+        ok = false;
+      }
+      co_await e.delay(microseconds(300));
+    }
+  }(eng, fab, svc, completed, no_server_error));
+  eng.run_until(seconds(2));
+  EXPECT_EQ(completed, 300);
+  EXPECT_TRUE(no_server_error);
+  // Both sites always retained at least one server.
+  EXPECT_GE(svc.servers_of(0).size(), 1u);
+  EXPECT_GE(svc.servers_of(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,218 @@
+// Tests for resource monitoring: scheme mechanics, accuracy under load
+// (the Figure 8a property), intrusiveness, and monitor-driven dispatch.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "monitor/monitor.hpp"
+
+namespace dcs::monitor {
+namespace {
+
+struct MonWorld {
+  // Node 0: front-end; nodes 1..3: monitored app servers.
+  sim::Engine eng;
+  fabric::Fabric fab;
+  verbs::Network net;
+  sockets::TcpNetwork tcp;
+  ResourceMonitor mon;
+
+  explicit MonWorld(MonScheme scheme, MonitorConfig config = {})
+      : fab(eng, fabric::FabricParams{},
+            {.num_nodes = 4, .cores_per_node = 1}),
+        net(fab),
+        tcp(fab),
+        mon(net, tcp, 0, {1, 2, 3}, scheme, config) {
+    mon.start();
+  }
+};
+
+class MonAllSchemes : public ::testing::TestWithParam<MonScheme> {};
+
+TEST_P(MonAllSchemes, QueryReflectsIdleNode) {
+  MonWorld w(GetParam());
+  Sample s;
+  w.eng.spawn([](MonWorld& world, Sample& out) -> sim::Task<void> {
+    // Give async schemes one interval to take their first sample.
+    co_await world.eng.delay(milliseconds(12));
+    out = co_await world.mon.query(1);
+  }(w, s));
+  w.eng.run_until(milliseconds(50));
+  EXPECT_EQ(s.stats.runnable, 0u);
+}
+
+TEST_P(MonAllSchemes, QueryObservesRunningWork) {
+  MonWorld w(GetParam());
+  Sample s;
+  for (int i = 0; i < 3; ++i) {
+    w.eng.spawn(w.fab.node(1).execute(milliseconds(400)));
+  }
+  w.eng.spawn([](MonWorld& world, Sample& out) -> sim::Task<void> {
+    co_await world.eng.delay(milliseconds(100));
+    out = co_await world.mon.query(1);
+  }(w, s));
+  w.eng.run_until(milliseconds(500));
+  EXPECT_EQ(s.stats.runnable, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, MonAllSchemes,
+    ::testing::Values(MonScheme::kSocketSync, MonScheme::kSocketAsync,
+                      MonScheme::kRdmaSync, MonScheme::kRdmaAsync,
+                      MonScheme::kERdmaSync),
+    [](const auto& info) {
+      std::string name = to_string(info.param);
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+TEST(MonitorTest, RdmaQueryCostsNoTargetCpu) {
+  MonWorld w(MonScheme::kRdmaSync);
+  w.eng.spawn([](MonWorld& world) -> sim::Task<void> {
+    for (int i = 0; i < 100; ++i) (void)co_await world.mon.query(1);
+  }(w));
+  w.eng.run();
+  EXPECT_EQ(w.fab.node(1).busy_ns(), 0u);
+}
+
+TEST(MonitorTest, SocketQueryBurnsTargetCpu) {
+  MonWorld w(MonScheme::kSocketSync);
+  w.eng.spawn([](MonWorld& world) -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) (void)co_await world.mon.query(1);
+  }(w));
+  w.eng.run();
+  EXPECT_GT(w.fab.node(1).busy_ns(), 0u);
+}
+
+TEST(MonitorTest, RdmaSyncFasterThanSocketSync) {
+  auto latency = [](MonScheme scheme) {
+    MonWorld w(scheme);
+    SimNanos lat = 0;
+    w.eng.spawn([](MonWorld& world, SimNanos& out) -> sim::Task<void> {
+      co_await world.eng.delay(milliseconds(1));
+      const auto t0 = world.eng.now();
+      (void)co_await world.mon.query(1);
+      out = world.eng.now() - t0;
+    }(w, lat));
+    w.eng.run_until(milliseconds(100));
+    return lat;
+  };
+  const auto rdma = latency(MonScheme::kRdmaSync);
+  const auto socket = latency(MonScheme::kSocketSync);
+  EXPECT_LT(rdma * 3, socket);
+}
+
+// The core Figure 8a property: on a loaded server, socket-based monitoring
+// reports stale values while RDMA-based monitoring stays accurate.
+double mean_abs_deviation(MonScheme scheme) {
+  MonWorld w(scheme, {.async_interval = milliseconds(2)});
+  // Bursty load on node 1: phases of 0/4/8 runnable jobs, switching every
+  // 20 ms, driven by short job bursts.
+  w.eng.spawn([](MonWorld& world) -> sim::Task<void> {
+    dcs::Rng rng(5);
+    for (int phase = 0; phase < 10; ++phase) {
+      const int jobs = static_cast<int>(rng.uniform(0, 8));
+      for (int j = 0; j < jobs; ++j) {
+        world.eng.spawn(world.fab.node(1).execute(milliseconds(20)));
+      }
+      co_await world.eng.delay(milliseconds(20));
+    }
+  }(w));
+  // Sampler: every 1 ms compare the monitor's view with the truth.
+  double total_dev = 0;
+  int samples = 0;
+  w.eng.spawn([](MonWorld& world, double& dev, int& n) -> sim::Task<void> {
+    co_await world.eng.delay(milliseconds(10));
+    for (int i = 0; i < 150; ++i) {
+      co_await world.eng.delay(milliseconds(1));
+      const Sample s = co_await world.mon.query(1);
+      const auto actual = world.fab.node(1).kernel_stats().threads;
+      dev += std::abs(static_cast<double>(s.stats.threads) -
+                      static_cast<double>(actual));
+      ++n;
+    }
+  }(w, total_dev, samples));
+  w.eng.run_until(milliseconds(400));
+  DCS_CHECK(samples > 0);
+  return total_dev / samples;
+}
+
+TEST(MonitorAccuracyTest, RdmaSyncNearZeroDeviationUnderLoad) {
+  EXPECT_LT(mean_abs_deviation(MonScheme::kRdmaSync), 0.15);
+}
+
+TEST(MonitorAccuracyTest, SocketSchemesDeviateUnderLoad) {
+  const double rdma = mean_abs_deviation(MonScheme::kRdmaSync);
+  const double sock_sync = mean_abs_deviation(MonScheme::kSocketSync);
+  const double sock_async = mean_abs_deviation(MonScheme::kSocketAsync);
+  EXPECT_GT(sock_sync, rdma * 2);
+  EXPECT_GT(sock_async, rdma * 2);
+}
+
+TEST(MonitorAccuracyTest, RdmaAsyncBoundedByPollInterval) {
+  const double rdma_async = mean_abs_deviation(MonScheme::kRdmaAsync);
+  const double sock_async = mean_abs_deviation(MonScheme::kSocketAsync);
+  EXPECT_LE(rdma_async, sock_async);
+}
+
+TEST(MonitorDispatchTest, DispatchesBalanceLoad) {
+  MonWorld w(MonScheme::kRdmaSync);
+  MonitoredDispatcher disp(w.net, w.mon);
+  w.eng.spawn([](MonWorld& world, MonitoredDispatcher& d) -> sim::Task<void> {
+    std::vector<sim::Task<void>> jobs;
+    for (int i = 0; i < 30; ++i) {
+      jobs.push_back(d.dispatch(microseconds(500), 1024));
+    }
+    co_await world.eng.when_all(std::move(jobs));
+  }(w, disp));
+  w.eng.run();
+  EXPECT_EQ(disp.completed(), 30u);
+  // All three targets should have done some work.
+  for (NodeId t : {1, 2, 3}) {
+    EXPECT_GT(w.fab.node(t).busy_ns(), 0u) << "node " << t;
+  }
+}
+
+TEST(MonitorDispatchTest, AccurateMonitorBeatsStaleUnderSkew) {
+  // Heterogeneous request stream (mostly short, occasionally very long):
+  // a fresh view steers new requests away from nodes stuck behind a long
+  // one; a view that is 20 ms stale keeps herding onto them.
+  auto run_with = [](MonScheme scheme) {
+    MonWorld w(scheme, {.async_interval = milliseconds(20)});
+    auto disp = std::make_unique<MonitoredDispatcher>(w.net, w.mon);
+    bool done = false;
+    w.eng.spawn([](MonWorld& world, MonitoredDispatcher& d, bool& flag)
+                    -> sim::Task<void> {
+      co_await world.eng.delay(milliseconds(1));
+      dcs::Rng rng(17);
+      // Open-loop arrivals: each request is dispatched at its arrival time.
+      for (int i = 0; i < 80; ++i) {
+        const SimNanos cpu =
+            rng.chance(0.1) ? milliseconds(4) : microseconds(200);
+        world.eng.spawn(d.dispatch(cpu, 1024));
+        co_await world.eng.delay(microseconds(500));
+      }
+      while (d.completed() < 80) co_await world.eng.delay(microseconds(100));
+      flag = true;
+    }(w, *disp, done));
+    w.eng.run_until(seconds(2));
+    DCS_CHECK(done);
+    return disp->latency_us().mean();
+  };
+  EXPECT_LT(run_with(MonScheme::kRdmaSync),
+            run_with(MonScheme::kSocketAsync));
+}
+
+TEST(MonitorTest, QueriesCounted) {
+  MonWorld w(MonScheme::kRdmaSync);
+  w.eng.spawn([](MonWorld& world) -> sim::Task<void> {
+    (void)co_await world.mon.query(1);
+    (void)co_await world.mon.load_estimate(2);
+  }(w));
+  w.eng.run();
+  EXPECT_EQ(w.mon.queries_issued(), 2u);
+}
+
+}  // namespace
+}  // namespace dcs::monitor

@@ -1,0 +1,132 @@
+// Tests for the QoS scheduler: weighted sharing under overload, soft
+// guarantees (work conservation), latency protection, multi-worker
+// correctness.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datacenter/qos.hpp"
+
+namespace dcs::datacenter {
+namespace {
+
+struct QosWorld {
+  sim::Engine eng;
+  fabric::Fabric fab;
+  QosScheduler sched;
+
+  QosWorld(std::vector<QosClassConfig> classes, std::size_t cores = 1,
+           std::size_t workers = 1)
+      : fab(eng, fabric::FabricParams{},
+            {.num_nodes = 1, .cores_per_node = cores}),
+        sched(fab, 0, std::move(classes), workers) {
+    sched.start();
+  }
+
+  /// Floods class `cls` with `count` jobs of `cpu` each.
+  void flood(std::size_t cls, int count, SimNanos cpu) {
+    for (int i = 0; i < count; ++i) {
+      eng.spawn(sched.submit(cls, cpu));
+    }
+  }
+};
+
+TEST(QosTest, SingleClassProcessesEverything) {
+  QosWorld w({{"only", 1.0}});
+  w.flood(0, 20, microseconds(100));
+  w.eng.run();
+  EXPECT_EQ(w.sched.stats(0).completed, 20u);
+  EXPECT_EQ(w.sched.queued(0), 0u);
+}
+
+TEST(QosTest, OverloadSharesCpuByWeight) {
+  // Premium weight 3 vs standard weight 1, both saturating one core:
+  // after a fixed window, premium should have ~3x the completions.
+  QosWorld w({{"premium", 3.0}, {"standard", 1.0}});
+  w.flood(0, 2000, microseconds(200));
+  w.flood(1, 2000, microseconds(200));
+  w.eng.run_until(milliseconds(100));  // enough for ~500 jobs total
+  const double premium =
+      static_cast<double>(w.sched.stats(0).cpu_consumed);
+  const double standard =
+      static_cast<double>(w.sched.stats(1).cpu_consumed);
+  ASSERT_GT(standard, 0.0);
+  const double ratio = premium / standard;
+  EXPECT_GT(ratio, 2.2);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(QosTest, SoftGuaranteeIsWorkConserving) {
+  // Premium idle: standard gets the whole machine despite weight 1 vs 4.
+  QosWorld w({{"premium", 4.0}, {"standard", 1.0}});
+  w.flood(1, 50, microseconds(100));
+  w.eng.run();
+  EXPECT_EQ(w.sched.stats(1).completed, 50u);
+  // One core, 50 x 100 us = 5 ms: no idling between jobs.
+  EXPECT_LE(w.eng.now(), milliseconds(6));
+}
+
+TEST(QosTest, PremiumLatencyProtectedUnderStandardFlood) {
+  QosWorld w({{"premium", 4.0}, {"standard", 1.0}});
+  // Standard flood saturates the node...
+  w.flood(1, 500, microseconds(300));
+  // ...premium requests trickle in and must cut ahead of the backlog.
+  LatencySamples premium_lat;
+  w.eng.spawn([](QosWorld& world, LatencySamples& lat) -> sim::Task<void> {
+    co_await world.eng.delay(milliseconds(5));
+    for (int i = 0; i < 20; ++i) {
+      const auto t0 = world.eng.now();
+      co_await world.sched.submit(0, microseconds(300));
+      lat.add(to_micros(world.eng.now() - t0));
+      co_await world.eng.delay(milliseconds(1));
+    }
+  }(w, premium_lat));
+  w.eng.run_until(milliseconds(400));
+  ASSERT_EQ(premium_lat.count(), 20u);
+  // Backlog is ~150 ms deep; premium must finish each request within a few
+  // milliseconds, not behind the whole standard queue.
+  EXPECT_LT(premium_lat.percentile(95), 8000.0);
+}
+
+TEST(QosTest, ThreeClassesOrderedByWeight) {
+  QosWorld w({{"gold", 4.0}, {"silver", 2.0}, {"bronze", 1.0}});
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    w.flood(cls, 1500, microseconds(200));
+  }
+  w.eng.run_until(milliseconds(120));
+  const auto gold = w.sched.stats(0).cpu_consumed;
+  const auto silver = w.sched.stats(1).cpu_consumed;
+  const auto bronze = w.sched.stats(2).cpu_consumed;
+  EXPECT_GT(gold, silver);
+  EXPECT_GT(silver, bronze);
+}
+
+TEST(QosTest, MultipleWorkersOnMultiCoreNode) {
+  QosWorld w({{"premium", 2.0}, {"standard", 1.0}}, /*cores=*/2,
+             /*workers=*/2);
+  w.flood(0, 40, microseconds(500));
+  w.flood(1, 40, microseconds(500));
+  w.eng.run();
+  EXPECT_EQ(w.sched.stats(0).completed, 40u);
+  EXPECT_EQ(w.sched.stats(1).completed, 40u);
+  // 80 jobs x 500 us over 2 cores ~ 20 ms; allow scheduling slack.
+  EXPECT_LT(w.eng.now(), milliseconds(25));
+}
+
+TEST(QosTest, HeterogeneousJobSizesStillWeighted) {
+  // Standard sends few huge jobs; premium sends many small ones: the
+  // deficit counter must account CPU, not job count.
+  QosWorld w({{"premium", 1.0}, {"standard", 1.0}});
+  w.flood(0, 1200, microseconds(50));   // small premium jobs
+  w.flood(1, 60, microseconds(1000));   // big standard jobs
+  w.eng.run_until(milliseconds(60));
+  const double premium = static_cast<double>(w.sched.stats(0).cpu_consumed);
+  const double standard = static_cast<double>(w.sched.stats(1).cpu_consumed);
+  ASSERT_GT(standard, 0.0);
+  // Equal weights: CPU split should be near 1:1 even though job sizes are
+  // 20x apart.
+  EXPECT_GT(premium / standard, 0.6);
+  EXPECT_LT(premium / standard, 1.7);
+}
+
+}  // namespace
+}  // namespace dcs::datacenter

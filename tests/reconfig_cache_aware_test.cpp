@@ -1,0 +1,131 @@
+// Tests for cache-aware reconfiguration (Section 6 integration): donor
+// selection by repurpose cost, the repurpose hook, and initial-assignment
+// overrides.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "reconfig/reconfig.hpp"
+
+namespace dcs::reconfig {
+namespace {
+
+struct AwareWorld {
+  sim::Engine eng;
+  fabric::Fabric fab;
+  verbs::Network net;
+  sockets::TcpNetwork tcp;
+  monitor::ResourceMonitor mon;
+  ReconfigService svc;
+
+  explicit AwareWorld(std::vector<std::uint32_t> initial = {})
+      : fab(eng, fabric::FabricParams{},
+            {.num_nodes = 5, .cores_per_node = 1}),
+        net(fab),
+        tcp(fab),
+        mon(net, tcp, 0, {1, 2, 3, 4}, monitor::MonScheme::kRdmaSync),
+        svc(net, mon, 0, {1, 2, 3, 4}, 2,
+            {.imbalance_threshold = 1.5, .history_window = 1}, {},
+            std::move(initial)) {
+    mon.start();
+  }
+
+  void load_site0_nodes(SimNanos duration) {
+    for (fabric::NodeId n : svc.servers_of(0)) {
+      for (int j = 0; j < 4; ++j) {
+        eng.spawn([](AwareWorld& w, fabric::NodeId node,
+                     SimNanos until) -> sim::Task<void> {
+          while (w.eng.now() < until) {
+            co_await w.fab.node(node).execute(milliseconds(5));
+          }
+        }(*this, n, duration));
+      }
+    }
+  }
+
+  void steps(int count, SimNanos gap = milliseconds(20)) {
+    eng.spawn([](AwareWorld& w, int c, SimNanos g) -> sim::Task<void> {
+      for (int i = 0; i < c; ++i) {
+        co_await w.eng.delay(g);
+        co_await w.svc.manager_step();
+      }
+    }(*this, count, gap));
+    eng.run_until(milliseconds(500));
+  }
+};
+
+TEST(ReconfigAwareTest, InitialAssignmentOverrideRespected) {
+  AwareWorld w({0, 0, 0, 1});
+  EXPECT_EQ(w.svc.site_of(1), 0u);
+  EXPECT_EQ(w.svc.site_of(2), 0u);
+  EXPECT_EQ(w.svc.site_of(3), 0u);
+  EXPECT_EQ(w.svc.site_of(4), 1u);
+  EXPECT_EQ(w.svc.servers_of(0).size(), 3u);
+  EXPECT_EQ(w.svc.servers_of(1).size(), 1u);
+}
+
+TEST(ReconfigAwareTest, DefaultDonorIsFirstEligible) {
+  // Site 1 overloaded, site 0 has nodes 1,2,3: without a cost callback the
+  // donor is node 1 (first in pool order).
+  AwareWorld w({0, 0, 0, 1});
+  for (int j = 0; j < 5; ++j) {
+    w.eng.spawn([](AwareWorld& world) -> sim::Task<void> {
+      while (world.eng.now() < milliseconds(300)) {
+        co_await world.fab.node(4).execute(milliseconds(5));
+      }
+    }(w));
+  }
+  w.steps(3);
+  ASSERT_GE(w.svc.reconfigurations(), 1u);
+  EXPECT_EQ(w.svc.events()[0].node, 1u);
+}
+
+TEST(ReconfigAwareTest, CostCallbackPicksCheapestDonor) {
+  AwareWorld w({0, 0, 0, 1});
+  std::map<fabric::NodeId, double> costs = {{1, 100.0}, {2, 5.0}, {3, 50.0}};
+  w.svc.set_repurpose_cost([&costs](fabric::NodeId n) { return costs.at(n); });
+  for (int j = 0; j < 5; ++j) {
+    w.eng.spawn([](AwareWorld& world) -> sim::Task<void> {
+      while (world.eng.now() < milliseconds(300)) {
+        co_await world.fab.node(4).execute(milliseconds(5));
+      }
+    }(w));
+  }
+  w.steps(3);
+  ASSERT_GE(w.svc.reconfigurations(), 1u);
+  EXPECT_EQ(w.svc.events()[0].node, 2u) << "must sacrifice the cheapest node";
+}
+
+TEST(ReconfigAwareTest, RepurposeHookFiresWithDestination) {
+  AwareWorld w({0, 0, 0, 1});
+  std::vector<std::pair<fabric::NodeId, std::uint32_t>> hook_calls;
+  w.svc.set_repurpose_hook(
+      [&hook_calls](fabric::NodeId n, std::uint32_t site) {
+        hook_calls.emplace_back(n, site);
+      });
+  for (int j = 0; j < 5; ++j) {
+    w.eng.spawn([](AwareWorld& world) -> sim::Task<void> {
+      while (world.eng.now() < milliseconds(300)) {
+        co_await world.fab.node(4).execute(milliseconds(5));
+      }
+    }(w));
+  }
+  w.steps(3);
+  ASSERT_GE(w.svc.reconfigurations(), 1u);
+  ASSERT_EQ(hook_calls.size(), w.svc.reconfigurations());
+  EXPECT_EQ(hook_calls[0].second, 1u);
+  EXPECT_EQ(hook_calls[0].first, w.svc.events()[0].node);
+}
+
+TEST(ReconfigAwareTest, HookNotCalledWhenNoMoveHappens) {
+  AwareWorld w;
+  int hook_count = 0;
+  w.svc.set_repurpose_hook(
+      [&hook_count](fabric::NodeId, std::uint32_t) { ++hook_count; });
+  w.steps(4);  // balanced: nothing to do
+  EXPECT_EQ(hook_count, 0);
+  EXPECT_EQ(w.svc.reconfigurations(), 0u);
+}
+
+}  // namespace
+}  // namespace dcs::reconfig

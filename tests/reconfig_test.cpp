@@ -1,0 +1,211 @@
+// Tests for dynamic reconfiguration: shared-state locking, imbalance
+// detection with hysteresis, thrash avoidance, QoS weighting, and
+// time-to-adapt with fine vs coarse monitoring intervals.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "reconfig/reconfig.hpp"
+
+namespace dcs::reconfig {
+namespace {
+
+struct ReconfigWorld {
+  // Node 0: manager/front-end; 1..4: app pool.
+  sim::Engine eng;
+  fabric::Fabric fab;
+  verbs::Network net;
+  sockets::TcpNetwork tcp;
+  monitor::ResourceMonitor mon;
+  ReconfigService svc;
+
+  explicit ReconfigWorld(ReconfigConfig config = {},
+                         std::vector<double> weights = {})
+      : fab(eng, fabric::FabricParams{},
+            {.num_nodes = 5, .cores_per_node = 1}),
+        net(fab),
+        tcp(fab),
+        mon(net, tcp, 0, {1, 2, 3, 4}, monitor::MonScheme::kRdmaSync),
+        svc(net, mon, 0, {1, 2, 3, 4}, 2, config, std::move(weights)) {
+    mon.start();
+  }
+
+  /// Keeps `jobs` short tasks perpetually queued on `node` for `duration`.
+  void load_node(fabric::NodeId node, int jobs, SimNanos duration) {
+    for (int j = 0; j < jobs; ++j) {
+      eng.spawn([](ReconfigWorld& w, fabric::NodeId n,
+                   SimNanos until) -> sim::Task<void> {
+        while (w.eng.now() < until) {
+          co_await w.fab.node(n).execute(milliseconds(5));
+        }
+      }(*this, node, duration));
+    }
+  }
+};
+
+TEST(SharedAssignmentTest, LockExcludesConcurrentWriters) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{}, {.num_nodes = 4});
+  verbs::Network net(fab);
+  SharedAssignment shared(net, 0, {0, 1, 0, 1});
+  int in_critical = 0, peak = 0;
+  for (fabric::NodeId n = 1; n <= 3; ++n) {
+    eng.spawn([](SharedAssignment& s, sim::Engine& e, fabric::NodeId self,
+                 int& crit, int& pk) -> sim::Task<void> {
+      for (int i = 0; i < 5; ++i) {
+        co_await s.lock(self);
+        ++crit;
+        pk = std::max(pk, crit);
+        co_await e.delay(microseconds(10));
+        --crit;
+        co_await s.unlock(self);
+      }
+    }(shared, eng, n, in_critical, peak));
+  }
+  eng.run();
+  EXPECT_EQ(peak, 1);
+}
+
+TEST(SharedAssignmentTest, ReadSeesWrites) {
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{}, {.num_nodes = 3});
+  verbs::Network net(fab);
+  SharedAssignment shared(net, 0, {0, 0, 0});
+  std::vector<std::uint32_t> view;
+  eng.spawn([](SharedAssignment& s, std::vector<std::uint32_t>& out)
+                -> sim::Task<void> {
+    co_await s.lock(1);
+    co_await s.write(1, 2, 7);
+    co_await s.unlock(1);
+    out = co_await s.read(2);
+  }(shared, view));
+  eng.run();
+  EXPECT_EQ(view, (std::vector<std::uint32_t>{0, 0, 7}));
+}
+
+TEST(ReconfigTest, InitialAssignmentRoundRobin) {
+  ReconfigWorld w;
+  EXPECT_EQ(w.svc.site_of(1), 0u);
+  EXPECT_EQ(w.svc.site_of(2), 1u);
+  EXPECT_EQ(w.svc.site_of(3), 0u);
+  EXPECT_EQ(w.svc.site_of(4), 1u);
+  EXPECT_EQ(w.svc.servers_of(0).size(), 2u);
+}
+
+TEST(ReconfigTest, BalancedLoadCausesNoMoves) {
+  ReconfigWorld w;
+  w.eng.spawn([](ReconfigWorld& world) -> sim::Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await world.eng.delay(milliseconds(10));
+      co_await world.svc.manager_step();
+    }
+  }(w));
+  w.eng.run_until(milliseconds(200));
+  EXPECT_EQ(w.svc.reconfigurations(), 0u);
+}
+
+TEST(ReconfigTest, SustainedImbalanceMovesANode) {
+  ReconfigWorld w({.history_window = 2});
+  // Site 0 = nodes 1,3 heavily loaded; site 1 idle.
+  w.load_node(1, 4, milliseconds(400));
+  w.load_node(3, 4, milliseconds(400));
+  w.eng.spawn([](ReconfigWorld& world) -> sim::Task<void> {
+    for (int i = 0; i < 6; ++i) {
+      co_await world.eng.delay(milliseconds(20));
+      co_await world.svc.manager_step();
+    }
+  }(w));
+  w.eng.run_until(milliseconds(500));
+  ASSERT_GE(w.svc.reconfigurations(), 1u);
+  EXPECT_EQ(w.svc.events()[0].from_site, 1u);
+  EXPECT_EQ(w.svc.events()[0].to_site, 0u);
+  // Site 1 must keep at least one server.
+  EXPECT_GE(w.svc.servers_of(1).size(), 1u);
+}
+
+TEST(ReconfigTest, HistoryWindowSuppressesTransientSpike) {
+  ReconfigWorld w({.history_window = 3});
+  // A spike shorter than the history window (1 check) must not trigger.
+  w.load_node(1, 6, milliseconds(15));
+  w.eng.spawn([](ReconfigWorld& world) -> sim::Task<void> {
+    co_await world.eng.delay(milliseconds(10));
+    co_await world.svc.manager_step();  // spike visible: streak 1
+    co_await world.eng.delay(milliseconds(50));
+    co_await world.svc.manager_step();  // spike gone: streak resets
+    co_await world.eng.delay(milliseconds(10));
+    co_await world.svc.manager_step();
+  }(w));
+  w.eng.run_until(milliseconds(300));
+  EXPECT_EQ(w.svc.reconfigurations(), 0u);
+}
+
+TEST(ReconfigTest, CooldownPreventsThrashing) {
+  ReconfigWorld w({.history_window = 1, .move_cooldown = seconds(10)});
+  w.load_node(1, 4, milliseconds(600));
+  w.load_node(3, 4, milliseconds(600));
+  w.eng.spawn([](ReconfigWorld& world) -> sim::Task<void> {
+    for (int i = 0; i < 12; ++i) {
+      co_await world.eng.delay(milliseconds(20));
+      co_await world.svc.manager_step();
+    }
+  }(w));
+  w.eng.run_until(seconds(1));
+  // Only one node can move: the other site-1 node is the last one, and the
+  // moved node is in cooldown.
+  EXPECT_LE(w.svc.reconfigurations(), 1u);
+}
+
+TEST(ReconfigTest, QosWeightAttractsCapacityEarlier) {
+  // Equal *measured* load on both sites, but site 0 has 3x weight: its
+  // effective load dominates and it should attract a node.
+  ReconfigWorld w({.imbalance_threshold = 1.5, .history_window = 1},
+                  {3.0, 1.0});
+  for (fabric::NodeId n = 1; n <= 4; ++n) w.load_node(n, 2, milliseconds(300));
+  w.eng.spawn([](ReconfigWorld& world) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      co_await world.eng.delay(milliseconds(20));
+      co_await world.svc.manager_step();
+    }
+  }(w));
+  w.eng.run_until(milliseconds(400));
+  ASSERT_GE(w.svc.reconfigurations(), 1u);
+  EXPECT_EQ(w.svc.events()[0].to_site, 0u);
+}
+
+TEST(ReconfigTest, PickServerPrefersIdleNode) {
+  ReconfigWorld w;
+  w.load_node(1, 5, milliseconds(200));  // site 0: node 1 busy, node 3 idle
+  fabric::NodeId picked = 99;
+  w.eng.spawn([](ReconfigWorld& world, fabric::NodeId& out) -> sim::Task<void> {
+    co_await world.eng.delay(milliseconds(5));
+    out = co_await world.svc.pick_server(0);
+  }(w, picked));
+  w.eng.run_until(milliseconds(300));
+  EXPECT_EQ(picked, 3u);
+}
+
+TEST(ReconfigTest, FineGrainedAdaptsFasterThanCoarse) {
+  // E11 shape: with the same spike, a millisecond-interval manager reacts
+  // an order of magnitude sooner than a second-scale one.
+  auto time_to_adapt = [](SimNanos interval) {
+    ReconfigWorld w({.monitor_interval = interval, .history_window = 2});
+    w.svc.start();
+    const SimNanos spike_at = milliseconds(50);
+    w.eng.spawn([](ReconfigWorld& world, SimNanos at) -> sim::Task<void> {
+      co_await world.eng.delay(at);
+      world.load_node(1, 6, seconds(30));
+      world.load_node(3, 6, seconds(30));
+    }(w, spike_at));
+    w.eng.run_until(seconds(20));
+    if (w.svc.events().empty()) return ~SimNanos{0};
+    return w.svc.events()[0].at - spike_at;
+  };
+  const auto fine = time_to_adapt(milliseconds(10));
+  const auto coarse = time_to_adapt(seconds(2));
+  ASSERT_NE(fine, ~SimNanos{0});
+  ASSERT_NE(coarse, ~SimNanos{0});
+  EXPECT_LT(fine * 10, coarse);
+}
+
+}  // namespace
+}  // namespace dcs::reconfig

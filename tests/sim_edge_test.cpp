@@ -1,0 +1,172 @@
+// Edge-case tests for the coroutine engine: exception routing through
+// when_all, task move semantics, move-only channel payloads, event
+// reset/reuse cycles, and zero-length corner cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace dcs::sim {
+namespace {
+
+Task<void> throws_at(Engine& eng, Time t) {
+  co_await eng.delay(t);
+  throw std::runtime_error("child failure");
+}
+
+Task<void> sleeps(Engine& eng, Time t) { co_await eng.delay(t); }
+
+TEST(SimEdgeTest, WhenAllChildExceptionSurfacesFromRun) {
+  Engine eng;
+  eng.spawn([](Engine& e) -> Task<void> {
+    std::vector<Task<void>> tasks;
+    tasks.push_back(sleeps(e, 100));
+    tasks.push_back(throws_at(e, 50));
+    co_await e.when_all(std::move(tasks));
+  }(eng));
+  // when_all children are spawned as roots; a child throw aborts the run.
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(SimEdgeTest, EngineUsableAfterHandledRootException) {
+  Engine eng;
+  eng.spawn(throws_at(eng, 10));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+  // The engine must stay consistent: new work still runs.
+  bool ran = false;
+  eng.spawn([](Engine& e, bool& flag) -> Task<void> {
+    co_await e.delay(5);
+    flag = true;
+  }(eng, ran));
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEdgeTest, TaskMoveTransfersOwnership) {
+  Engine eng;
+  Task<void> a = sleeps(eng, 10);
+  Task<void> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): intentional
+  EXPECT_TRUE(b.valid());
+  eng.spawn(std::move(b));
+  eng.run();
+  EXPECT_EQ(eng.now(), 10u);
+}
+
+TEST(SimEdgeTest, UnawaitedTaskIsSafelyDestroyed) {
+  Engine eng;
+  {
+    Task<void> orphan = sleeps(eng, 1000);
+    // Never awaited, never spawned: destructor must release the frame.
+  }
+  eng.run();
+  EXPECT_EQ(eng.now(), 0u);
+}
+
+TEST(SimEdgeTest, ChannelCarriesMoveOnlyTypes) {
+  Engine eng;
+  Channel<std::unique_ptr<int>> chan(eng);
+  int received = 0;
+  eng.spawn([](Channel<std::unique_ptr<int>>& c, int& out) -> Task<void> {
+    auto p = co_await c.recv();
+    out = *p;
+  }(chan, received));
+  eng.spawn([](Channel<std::unique_ptr<int>>& c) -> Task<void> {
+    c.push(std::make_unique<int>(42));
+    co_return;
+  }(chan));
+  eng.run();
+  EXPECT_EQ(received, 42);
+}
+
+TEST(SimEdgeTest, EventResetReuseCycles) {
+  Engine eng;
+  Event ev(eng);
+  int wakes = 0;
+  eng.spawn([](Engine& e, Event& event, int& count) -> Task<void> {
+    for (int round = 0; round < 3; ++round) {
+      co_await event.wait();
+      ++count;
+      event.reset();
+      co_await e.delay(10);  // give the setter a chance per round
+    }
+  }(eng, ev, wakes));
+  eng.spawn([](Engine& e, Event& event) -> Task<void> {
+    for (int round = 0; round < 3; ++round) {
+      co_await e.delay(25);
+      event.set();
+    }
+  }(eng, ev));
+  eng.run();
+  EXPECT_EQ(wakes, 3);
+}
+
+TEST(SimEdgeTest, ZeroDelayRunsAfterAlreadyQueuedWork) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn([](Engine& e, std::vector<int>& out) -> Task<void> {
+    co_await e.delay(0);
+    out.push_back(1);
+    co_await e.yield();
+    out.push_back(3);
+  }(eng, order));
+  eng.spawn([](Engine& e, std::vector<int>& out) -> Task<void> {
+    co_await e.delay(0);
+    out.push_back(2);
+  }(eng, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 0u);
+}
+
+TEST(SimEdgeTest, SemaphoreZeroInitialBlocksUntilRelease) {
+  Engine eng;
+  Semaphore sem(eng, 0);
+  SimNanos acquired_at = 0;
+  eng.spawn([](Engine& e, Semaphore& s, SimNanos& at) -> Task<void> {
+    co_await s.acquire();
+    at = e.now();
+  }(eng, sem, acquired_at));
+  eng.spawn([](Engine& e, Semaphore& s) -> Task<void> {
+    co_await e.delay(500);
+    s.release();
+  }(eng, sem));
+  eng.run();
+  EXPECT_EQ(acquired_at, 500u);
+}
+
+TEST(SimEdgeTest, NestedWhenAll) {
+  Engine eng;
+  SimNanos done_at = 0;
+  eng.spawn([](Engine& e, SimNanos& t) -> Task<void> {
+    std::vector<Task<void>> outer;
+    outer.push_back([](Engine& e2) -> Task<void> {
+      std::vector<Task<void>> inner;
+      inner.push_back(sleeps(e2, 30));
+      inner.push_back(sleeps(e2, 60));
+      co_await e2.when_all(std::move(inner));
+    }(e));
+    outer.push_back(sleeps(e, 40));
+    co_await e.when_all(std::move(outer));
+    t = e.now();
+  }(eng, done_at));
+  eng.run();
+  EXPECT_EQ(done_at, 60u);
+}
+
+TEST(SimEdgeTest, RunUntilZeroProcessesTimeZeroEvents) {
+  Engine eng;
+  bool ran = false;
+  eng.spawn([](bool& flag) -> Task<void> {
+    flag = true;
+    co_return;
+  }(ran));
+  eng.run_until(0);
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace dcs::sim

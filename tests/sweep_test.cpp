@@ -1,0 +1,241 @@
+// Cross-module parameterized sweeps: correctness of every cache scheme at
+// every file-size class, lock cascade invariants across waiter counts and
+// schemes, STORM selectivity/record sweeps, and monitor scheme x load
+// matrices.  These are the "does it stay correct across the whole
+// parameter space" complement to the targeted unit tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "cache/coop_cache.hpp"
+#include "common/zipf.hpp"
+#include "dlm/dqnl.hpp"
+#include "dlm/ncosed.hpp"
+#include "dlm/srsl.hpp"
+#include "monitor/monitor.hpp"
+#include "storm/storm.hpp"
+
+namespace dcs {
+namespace {
+
+// --- cache scheme x doc size correctness sweep ------------------------------
+
+using CacheSweepParam = std::tuple<cache::Scheme, std::size_t>;
+
+class CacheSweep : public ::testing::TestWithParam<CacheSweepParam> {};
+
+TEST_P(CacheSweep, ZipfTrafficServedCorrectlyUnderEviction) {
+  const auto [scheme, doc_bytes] = GetParam();
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  const std::size_t num_docs = 40;
+  datacenter::DocumentStore store({.num_docs = num_docs,
+                                   .doc_bytes = doc_bytes});
+  datacenter::BackendService backend(tcp, store, {5});
+  backend.start();
+  // Capacity ~ 1/3 of the working set: heavy eviction everywhere.
+  cache::CoopCacheService coop(net, backend, store, scheme, {1, 2}, {3, 4},
+                               {.capacity_per_node = num_docs * doc_bytes / 6});
+  int bad = 0;
+  eng.spawn([](cache::CoopCacheService& c,
+               const datacenter::DocumentStore& s, int& errors)
+                -> sim::Task<void> {
+    Rng rng(1000);
+    ZipfSampler zipf(40, 0.8);
+    for (int i = 0; i < 250; ++i) {
+      const auto doc = static_cast<datacenter::DocId>(zipf.sample(rng));
+      const auto proxy = static_cast<fabric::NodeId>(1 + rng.uniform(2));
+      const auto body = co_await c.serve(proxy, doc);
+      if (!s.verify(doc, body)) ++errors;
+    }
+  }(coop, store, bad));
+  eng.run();
+  EXPECT_EQ(bad, 0);
+  EXPECT_EQ(coop.audit(), "");
+  EXPECT_GT(coop.stats().hit_rate(), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CacheSweep,
+    ::testing::Combine(::testing::Values(cache::Scheme::kAC,
+                                         cache::Scheme::kBCC,
+                                         cache::Scheme::kCCWR,
+                                         cache::Scheme::kMTACC,
+                                         cache::Scheme::kHYBCC),
+                       ::testing::Values(std::size_t{2048},
+                                         std::size_t{16384},
+                                         std::size_t{65536})),
+    [](const auto& info) {
+      return std::string(cache::to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param) / 1024) + "k";
+    });
+
+// --- lock cascade invariants across schemes x waiter counts -----------------
+
+enum class LockScheme { kSrsl, kDqnl, kNcosed };
+using DlmSweepParam = std::tuple<LockScheme, int>;
+
+const char* lock_scheme_name(LockScheme s) {
+  switch (s) {
+    case LockScheme::kSrsl: return "SRSL";
+    case LockScheme::kDqnl: return "DQNL";
+    case LockScheme::kNcosed: return "NCoSED";
+  }
+  return "?";
+}
+
+class DlmCascadeSweep : public ::testing::TestWithParam<DlmSweepParam> {};
+
+TEST_P(DlmCascadeSweep, AllWaitersGrantedExactlyOnceAfterRelease) {
+  const auto [scheme, waiters] = GetParam();
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 20, .cores_per_node = 2});
+  verbs::Network net(fab);
+  std::unique_ptr<dlm::LockManager> mgr;
+  switch (scheme) {
+    case LockScheme::kSrsl: {
+      auto srsl = std::make_unique<dlm::SrslLockManager>(net, 0);
+      srsl->start();
+      mgr = std::move(srsl);
+      break;
+    }
+    case LockScheme::kDqnl:
+      mgr = std::make_unique<dlm::DqnlLockManager>(net, 0);
+      break;
+    case LockScheme::kNcosed:
+      mgr = std::make_unique<dlm::NcosedLockManager>(net, 0);
+      break;
+  }
+  std::vector<int> grants(20, 0);
+  SimNanos release_at = 0;
+  eng.spawn([](sim::Engine& e, dlm::LockManager& m, SimNanos& rel)
+                -> sim::Task<void> {
+    co_await m.lock_exclusive(1, 0);
+    co_await e.delay(milliseconds(1));
+    rel = e.now();
+    co_await m.unlock(1, 0);
+  }(eng, *mgr, release_at));
+  for (int i = 0; i < waiters; ++i) {
+    eng.spawn([](sim::Engine& e, dlm::LockManager& m, fabric::NodeId self,
+                 std::vector<int>& g, const SimNanos& rel) -> sim::Task<void> {
+      co_await e.delay(microseconds(50 + 7 * self));
+      co_await m.lock_shared(self, 0);
+      // Invariant: no grant before the holder released.
+      DCS_CHECK(rel != 0 && e.now() >= rel);
+      ++g[self];
+      co_await m.unlock(self, 0);
+    }(eng, *mgr, static_cast<fabric::NodeId>(2 + i), grants, release_at));
+  }
+  eng.run();
+  for (int i = 0; i < waiters; ++i) {
+    EXPECT_EQ(grants[2 + i], 1) << "waiter " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DlmCascadeSweep,
+    ::testing::Combine(::testing::Values(LockScheme::kSrsl, LockScheme::kDqnl,
+                                         LockScheme::kNcosed),
+                       ::testing::Values(1, 3, 7, 15)),
+    [](const auto& info) {
+      return std::string(lock_scheme_name(std::get<0>(info.param))) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- STORM record-count sweep ------------------------------------------------
+
+class StormSweep
+    : public ::testing::TestWithParam<std::tuple<storm::ControlPlane,
+                                                 std::uint64_t>> {};
+
+TEST_P(StormSweep, ScanAccountingExactAtEveryScale) {
+  const auto [plane, records] = GetParam();
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 5, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  storm::StormCluster cluster(net, tcp, plane, 0, 1, {2, 3, 4});
+  eng.spawn(cluster.start());
+  eng.run();
+  storm::QueryResult result;
+  eng.spawn([](storm::StormCluster& c, std::uint64_t n,
+               storm::QueryResult& out) -> sim::Task<void> {
+    out = co_await c.run_query(n);
+  }(cluster, records, result));
+  eng.run();
+  EXPECT_EQ(result.records_scanned, records);
+  const auto expected_hits = static_cast<std::uint64_t>(
+      static_cast<double>(records) * 0.02);
+  EXPECT_GE(result.records_returned, expected_hits / 2);
+  EXPECT_LE(result.records_returned, expected_hits + 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StormSweep,
+    ::testing::Combine(::testing::Values(storm::ControlPlane::kSockets,
+                                         storm::ControlPlane::kDdss),
+                       ::testing::Values(std::uint64_t{999},
+                                         std::uint64_t{4096},
+                                         std::uint64_t{50001})),
+    [](const auto& info) {
+      std::string name = storm::to_string(std::get<0>(info.param));
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- monitor scheme x load-level matrix --------------------------------------
+
+using MonSweepParam = std::tuple<monitor::MonScheme, int>;
+
+class MonitorSweep : public ::testing::TestWithParam<MonSweepParam> {};
+
+TEST_P(MonitorSweep, ReportedLoadWithinOneOfTruthAtSteadyState) {
+  const auto [scheme, jobs] = GetParam();
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 2, .cores_per_node = 1});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  monitor::ResourceMonitor mon(net, tcp, 0, {1}, scheme,
+                               {.async_interval = milliseconds(2)});
+  mon.start();
+  // Steady load: `jobs` runnable tasks held constant for the whole run.
+  for (int j = 0; j < jobs; ++j) {
+    eng.spawn(fab.node(1).execute(seconds(1)));
+  }
+  std::uint64_t reported = 0;
+  eng.spawn([](sim::Engine& e, monitor::ResourceMonitor& m,
+               std::uint64_t& out) -> sim::Task<void> {
+    co_await e.delay(milliseconds(50));  // steady state; async warmed up
+    const auto s = co_await m.query(1);
+    out = s.stats.runnable;
+  }(eng, mon, reported));
+  eng.run_until(milliseconds(120));
+  // At steady state every scheme must be near-exact (staleness only bites
+  // when load *changes*; Figure 8a covers the dynamic case).
+  EXPECT_NEAR(static_cast<double>(reported), static_cast<double>(jobs), 1.0)
+      << monitor::to_string(scheme) << " with " << jobs << " jobs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonitorSweep,
+    ::testing::Combine(::testing::Values(monitor::MonScheme::kSocketSync,
+                                         monitor::MonScheme::kSocketAsync,
+                                         monitor::MonScheme::kRdmaSync,
+                                         monitor::MonScheme::kRdmaAsync,
+                                         monitor::MonScheme::kERdmaSync),
+                       ::testing::Values(0, 2, 6)),
+    [](const auto& info) {
+      std::string name = monitor::to_string(std::get<0>(info.param));
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name + "_j" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,324 @@
+// Unit tests for the verbs layer: registration, one-sided data movement,
+// remote atomics (incl. concurrency), protection errors, send/recv, and the
+// zero-target-CPU property that underpins the paper.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "verbs/verbs.hpp"
+#include "verbs/wire.hpp"
+
+namespace dcs::verbs {
+namespace {
+
+struct VerbsFixture : ::testing::Test {
+  sim::Engine eng;
+  fabric::Fabric fab{eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .cores_per_node = 2}};
+  Network net{fab};
+};
+
+std::vector<std::byte> make_bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST_F(VerbsFixture, RegisterAndResolveRoundTrip) {
+  auto region = net.hca(1).allocate_region(256);
+  EXPECT_TRUE(region.valid());
+  EXPECT_EQ(region.node, 1u);
+  EXPECT_EQ(region.len, 256u);
+  EXPECT_EQ(net.hca(1).registered_region_count(), 1u);
+  net.hca(1).free_region(region);
+  EXPECT_EQ(net.hca(1).registered_region_count(), 0u);
+}
+
+TEST_F(VerbsFixture, WriteThenReadMovesBytes) {
+  auto region = net.hca(1).allocate_region(64);
+  const auto payload = make_bytes({1, 2, 3, 4, 5});
+  std::vector<std::byte> readback(5);
+  eng.spawn([](Network& n, RemoteRegion r, const std::vector<std::byte>& src,
+               std::vector<std::byte>& dst) -> sim::Task<void> {
+    co_await n.hca(0).write(r, 0, src);
+    co_await n.hca(2).read(r, 0, dst);
+  }(net, region, payload, readback));
+  eng.run();
+  EXPECT_EQ(readback, payload);
+}
+
+TEST_F(VerbsFixture, WriteAtOffsetDoesNotClobberNeighbors) {
+  auto region = net.hca(1).allocate_region(16);
+  eng.spawn([](Network& n, RemoteRegion r) -> sim::Task<void> {
+    const auto a = make_bytes({0xAA});
+    const auto b = make_bytes({0xBB});
+    co_await n.hca(0).write(r, 3, a);
+    co_await n.hca(0).write(r, 5, b);
+  }(net, region));
+  eng.run();
+  auto mem = fab.node(1).memory().bytes(region.addr, 16);
+  EXPECT_EQ(mem[3], std::byte{0xAA});
+  EXPECT_EQ(mem[4], std::byte{0});
+  EXPECT_EQ(mem[5], std::byte{0xBB});
+}
+
+TEST_F(VerbsFixture, RdmaReadTakesMicrosecondsNotMilliseconds) {
+  auto region = net.hca(1).allocate_region(8);
+  std::vector<std::byte> dst(1);
+  eng.spawn([](Network& n, RemoteRegion r, std::vector<std::byte>& d)
+                -> sim::Task<void> {
+    co_await n.hca(0).read(r, 0, d);
+  }(net, region, dst));
+  eng.run();
+  // 2007-era IB DDR small read: single-digit microseconds.
+  EXPECT_GT(eng.now(), microseconds(2));
+  EXPECT_LT(eng.now(), microseconds(12));
+}
+
+TEST_F(VerbsFixture, OneSidedOpsConsumeNoTargetCpu) {
+  auto region = net.hca(1).allocate_region(4096);
+  std::vector<std::byte> buf(4096);
+  eng.spawn([](Network& n, RemoteRegion r, std::vector<std::byte>& b)
+                -> sim::Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      co_await n.hca(0).read(r, 0, b);
+      co_await n.hca(0).write(r, 0, b);
+      (void)co_await n.hca(0).fetch_and_add(r, 0, 1);
+    }
+  }(net, region, buf));
+  eng.run();
+  EXPECT_EQ(fab.node(1).busy_ns(), 0u) << "target CPU must stay idle";
+  EXPECT_EQ(net.hca(0).one_sided_ops(), 150u);
+}
+
+TEST_F(VerbsFixture, CasSwapsOnlyOnMatch) {
+  auto region = net.hca(2).allocate_region(8);
+  std::uint64_t first = 1, second = 1;
+  eng.spawn([](Network& n, RemoteRegion r, std::uint64_t& f, std::uint64_t& s)
+                -> sim::Task<void> {
+    f = co_await n.hca(0).compare_and_swap(r, 0, 0, 42);   // matches: 0 -> 42
+    s = co_await n.hca(0).compare_and_swap(r, 0, 0, 99);   // fails: sees 42
+  }(net, region, first, second));
+  eng.run();
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(second, 42u);
+  auto mem = fab.node(2).memory().bytes(region.addr, 8);
+  EXPECT_EQ(load_u64(mem, 0), 42u);
+}
+
+TEST_F(VerbsFixture, FaaReturnsOldValueAndAccumulates) {
+  auto region = net.hca(2).allocate_region(8);
+  std::vector<std::uint64_t> olds;
+  eng.spawn([](Network& n, RemoteRegion r, std::vector<std::uint64_t>& out)
+                -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(co_await n.hca(0).fetch_and_add(r, 0, 10));
+    }
+  }(net, region, olds));
+  eng.run();
+  EXPECT_EQ(olds, (std::vector<std::uint64_t>{0, 10, 20, 30}));
+}
+
+TEST_F(VerbsFixture, ConcurrentFaaFromManyNodesIsAtomic) {
+  auto region = net.hca(3).allocate_region(8);
+  for (fabric::NodeId n = 0; n < 3; ++n) {
+    eng.spawn([](Network& net_, fabric::NodeId self, RemoteRegion r)
+                  -> sim::Task<void> {
+      for (int i = 0; i < 100; ++i) {
+        (void)co_await net_.hca(self).fetch_and_add(r, 0, 1);
+      }
+    }(net, n, region));
+  }
+  eng.run();
+  auto mem = fab.node(3).memory().bytes(region.addr, 8);
+  EXPECT_EQ(load_u64(mem, 0), 300u);
+}
+
+TEST_F(VerbsFixture, ConcurrentCasExactlyOneWinner) {
+  auto region = net.hca(3).allocate_region(8);
+  int winners = 0;
+  for (fabric::NodeId n = 0; n < 3; ++n) {
+    eng.spawn([](Network& net_, fabric::NodeId self, RemoteRegion r, int& w)
+                  -> sim::Task<void> {
+      const auto old =
+          co_await net_.hca(self).compare_and_swap(r, 0, 0, self + 1);
+      if (old == 0) ++w;
+    }(net, n, region, winners));
+  }
+  eng.run();
+  EXPECT_EQ(winners, 1);
+}
+
+TEST_F(VerbsFixture, UnknownRkeyRaisesRemoteAccessError) {
+  auto region = net.hca(1).allocate_region(8);
+  region.rkey += 1000;  // corrupt the key
+  bool caught = false;
+  std::vector<std::byte> dst(8);
+  eng.spawn([](Network& n, RemoteRegion r, std::vector<std::byte>& d, bool& c)
+                -> sim::Task<void> {
+    try {
+      co_await n.hca(0).read(r, 0, d);
+    } catch (const RemoteAccessError&) {
+      c = true;
+    }
+  }(net, region, dst, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST_F(VerbsFixture, OutOfBoundsAccessRaises) {
+  auto region = net.hca(1).allocate_region(8);
+  bool caught = false;
+  std::vector<std::byte> dst(8);
+  eng.spawn([](Network& n, RemoteRegion r, std::vector<std::byte>& d, bool& c)
+                -> sim::Task<void> {
+    try {
+      co_await n.hca(0).read(r, 4, d);  // 4 + 8 > 8
+    } catch (const RemoteAccessError&) {
+      c = true;
+    }
+  }(net, region, dst, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST_F(VerbsFixture, DeregisteredRegionInaccessible) {
+  auto region = net.hca(1).allocate_region(8);
+  net.hca(1).deregister(region.rkey);
+  bool caught = false;
+  eng.spawn([](Network& n, RemoteRegion r, bool& c) -> sim::Task<void> {
+    try {
+      const auto payload = make_bytes({1});
+      co_await n.hca(0).write(r, 0, payload);
+    } catch (const RemoteAccessError&) {
+      c = true;
+    }
+  }(net, region, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST_F(VerbsFixture, MisalignedAtomicRaises) {
+  auto region = net.hca(1).allocate_region(16);
+  bool caught = false;
+  eng.spawn([](Network& n, RemoteRegion r, bool& c) -> sim::Task<void> {
+    try {
+      (void)co_await n.hca(0).fetch_and_add(r, 4, 1);
+    } catch (const RemoteAccessError&) {
+      c = true;
+    }
+  }(net, region, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST_F(VerbsFixture, SendRecvDeliversTaggedMessages) {
+  std::vector<std::string> got;
+  eng.spawn([](Network& n, std::vector<std::string>& out) -> sim::Task<void> {
+    for (int i = 0; i < 2; ++i) {
+      auto msg = co_await n.hca(1).recv(7);
+      Decoder dec(msg.payload);
+      out.push_back(dec.str());
+    }
+  }(net, got));
+  eng.spawn([](Network& n) -> sim::Task<void> {
+    co_await n.hca(0).send(1, 7, Encoder().str("hello").take());
+    co_await n.hca(0).send(1, 7, Encoder().str("world").take());
+  }(net));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST_F(VerbsFixture, TagsIsolateReceivers) {
+  std::string tag1_got, tag2_got;
+  eng.spawn([](Network& n, std::string& out) -> sim::Task<void> {
+    auto msg = co_await n.hca(1).recv(1);
+    out = Decoder(msg.payload).str();
+  }(net, tag1_got));
+  eng.spawn([](Network& n, std::string& out) -> sim::Task<void> {
+    auto msg = co_await n.hca(1).recv(2);
+    out = Decoder(msg.payload).str();
+  }(net, tag2_got));
+  eng.spawn([](Network& n) -> sim::Task<void> {
+    co_await n.hca(0).send(1, 2, Encoder().str("for-two").take());
+    co_await n.hca(0).send(1, 1, Encoder().str("for-one").take());
+  }(net));
+  eng.run();
+  EXPECT_EQ(tag1_got, "for-one");
+  EXPECT_EQ(tag2_got, "for-two");
+}
+
+TEST_F(VerbsFixture, RecvChargesTargetCpuButRdmaDoesNot) {
+  auto region = net.hca(1).allocate_region(64);
+  eng.spawn([](Network& n) -> sim::Task<void> {
+    (void)co_await n.hca(1).recv(9);
+  }(net));
+  eng.spawn([](Network& n, RemoteRegion r) -> sim::Task<void> {
+    const auto payload = make_bytes({1, 2, 3});
+    co_await n.hca(0).write(r, 0, payload);       // no CPU at node 1
+    co_await n.hca(0).send(1, 9, payload);        // CPU at node 1
+  }(net, region));
+  eng.run();
+  EXPECT_GT(fab.node(1).busy_ns(), 0u);
+}
+
+TEST_F(VerbsFixture, TryRecvNonBlocking) {
+  EXPECT_FALSE(net.hca(0).try_recv(5).has_value());
+  eng.spawn([](Network& n) -> sim::Task<void> {
+    co_await n.hca(1).send(0, 5, Encoder().u32(77).take());
+  }(net));
+  eng.run();
+  auto msg = net.hca(0).try_recv(5);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(Decoder(msg->payload).u32(), 77u);
+}
+
+TEST_F(VerbsFixture, LargeTransferSlowerThanSmall) {
+  auto region = net.hca(1).allocate_region(256 * 1024);
+  std::vector<std::byte> small(64), large(256 * 1024);
+  SimNanos t_small = 0, t_large = 0;
+  eng.spawn([](Network& n, sim::Engine& e, RemoteRegion r,
+               std::vector<std::byte>& s, std::vector<std::byte>& l,
+               SimNanos& ts, SimNanos& tl) -> sim::Task<void> {
+    const auto t0 = e.now();
+    co_await n.hca(0).read(r, 0, s);
+    ts = e.now() - t0;
+    const auto t1 = e.now();
+    co_await n.hca(0).read(r, 0, l);
+    tl = e.now() - t1;
+  }(net, eng, region, small, large, t_small, t_large));
+  eng.run();
+  EXPECT_GT(t_large, 10 * t_small);
+}
+
+// --- wire encoder/decoder ---
+
+TEST(WireTest, EncodeDecodeRoundTrip) {
+  auto buf = Encoder().u8(3).u32(1234).u64(99999999999ULL).str("abc").take();
+  Decoder dec(buf);
+  EXPECT_EQ(dec.u8(), 3u);
+  EXPECT_EQ(dec.u32(), 1234u);
+  EXPECT_EQ(dec.u64(), 99999999999ULL);
+  EXPECT_EQ(dec.str(), "abc");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(WireTest, BytesRoundTrip) {
+  std::vector<std::byte> blob(300);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>(i & 0xff);
+  }
+  auto buf = Encoder().bytes(blob).take();
+  Decoder dec(buf);
+  EXPECT_EQ(dec.bytes(), blob);
+}
+
+TEST(WireTest, LoadStoreU64) {
+  std::vector<std::byte> buf(16);
+  store_u64(buf, 8, 0xdeadbeefULL);
+  EXPECT_EQ(load_u64(buf, 8), 0xdeadbeefULL);
+  EXPECT_EQ(load_u64(buf, 0), 0u);
+}
+
+}  // namespace
+}  // namespace dcs::verbs

@@ -1,0 +1,298 @@
+// dcs — scenario driver.
+//
+// Runs parameterizable versions of the repository's experiments without
+// recompiling, e.g.:
+//
+//   dcs cache   --scheme HYBCC --proxies 4 --file-kb 32 --alpha 0.9
+//   dcs locks   --scheme ncosed --waiters 12 --mode shared
+//   dcs monitor --scheme rdma-sync --jobs 6
+//   dcs storm   --records 250000 --plane ddss
+//   dcs params
+//
+// All numbers are deterministic virtual-time results.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cache/coop_cache.hpp"
+#include "common/table.hpp"
+#include "common/zipf.hpp"
+#include "datacenter/clients.hpp"
+#include "datacenter/webfarm.hpp"
+#include "dlm/dqnl.hpp"
+#include "dlm/ncosed.hpp"
+#include "dlm/srsl.hpp"
+#include "monitor/monitor.hpp"
+#include "storm/storm.hpp"
+
+using namespace dcs;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  long num(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stol(it->second) : fallback;
+  }
+  double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stod(it->second) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_params() {
+  const fabric::FabricParams p;
+  Table t({"parameter", "value"});
+  t.add_row({"link latency", std::to_string(p.link_latency) + " ns"});
+  t.add_row({"wire rate", Table::fmt(p.wire_bytes_per_ns, 2) + " B/ns"});
+  t.add_row({"RDMA post/target/completion",
+             std::to_string(p.rdma_post_overhead) + "/" +
+                 std::to_string(p.rdma_target_nic) + "/" +
+                 std::to_string(p.rdma_completion) + " ns"});
+  t.add_row({"atomic execute", std::to_string(p.atomic_execute) + " ns"});
+  t.add_row({"TCP per-message CPU",
+             std::to_string(p.tcp_per_message_cpu / 1000) + " us/side"});
+  t.add_row({"interrupt latency",
+             std::to_string(p.tcp_interrupt_latency / 1000) + " us"});
+  t.add_row({"memcpy rate", Table::fmt(p.tcp_copy_bytes_per_ns, 2) + " B/ns"});
+  t.add_row({"scheduler quantum",
+             std::to_string(p.sched_quantum / 1000000) + " ms"});
+  t.add_row({"op timeout", std::to_string(p.op_timeout / 1000) + " us"});
+  t.print("fabric cost model (FabricParams defaults)");
+  return 0;
+}
+
+int cmd_cache(const Args& args) {
+  const std::string scheme_name = args.str("scheme", "HYBCC");
+  cache::Scheme scheme = cache::Scheme::kHYBCC;
+  for (const auto s : {cache::Scheme::kAC, cache::Scheme::kBCC,
+                       cache::Scheme::kCCWR, cache::Scheme::kMTACC,
+                       cache::Scheme::kHYBCC}) {
+    if (scheme_name == cache::to_string(s)) scheme = s;
+  }
+  const auto proxies_n = static_cast<std::size_t>(args.num("proxies", 2));
+  const std::size_t file_bytes =
+      static_cast<std::size_t>(args.num("file-kb", 16)) * 1024;
+  const double alpha = args.real("alpha", 0.75);
+  const auto requests = static_cast<std::size_t>(args.num("requests", 3000));
+  const std::size_t cache_mb =
+      static_cast<std::size_t>(args.num("cache-mb", 4));
+  const std::size_t ws_mb = static_cast<std::size_t>(args.num("ws-mb", 12));
+
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 6 + proxies_n, .cores_per_node = 2,
+                      .mem_per_node = 64u << 20});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  std::vector<fabric::NodeId> proxies, donors, backends;
+  for (std::size_t i = 0; i < proxies_n; ++i) {
+    proxies.push_back(static_cast<fabric::NodeId>(2 + i));
+  }
+  donors = {static_cast<fabric::NodeId>(2 + proxies_n),
+            static_cast<fabric::NodeId>(3 + proxies_n)};
+  backends = {static_cast<fabric::NodeId>(4 + proxies_n),
+              static_cast<fabric::NodeId>(5 + proxies_n)};
+
+  const std::size_t num_docs = ws_mb * 1024 * 1024 / file_bytes;
+  datacenter::DocumentStore store(
+      {.num_docs = num_docs, .doc_bytes = file_bytes});
+  datacenter::BackendService backend(tcp, store, backends);
+  backend.start();
+  cache::CoopCacheService coop(net, backend, store, scheme, proxies, donors,
+                               {.capacity_per_node = cache_mb << 20});
+  datacenter::WebFarm farm(tcp, proxies, coop.handler());
+  farm.start();
+  datacenter::ClientFarm clients(tcp, {0, 1}, proxies, store,
+                                 {.sessions = 4 * proxies_n});
+  ZipfTrace trace(num_docs, alpha, requests, 42);
+  eng.spawn(clients.run({trace.requests().begin(), trace.requests().end()}));
+  eng.run();
+
+  Table t({"metric", "value"});
+  t.add_row({"scheme", cache::to_string(scheme)});
+  t.add_row({"throughput", Table::fmt(clients.stats().tps(), 0) + " TPS"});
+  t.add_row({"mean latency",
+             Table::fmt(const_cast<datacenter::RunStats&>(clients.stats())
+                            .latency_us.mean(),
+                        0) + " us"});
+  t.add_row({"hit rate", Table::fmt(100 * coop.stats().hit_rate(), 1) + " %"});
+  t.add_row({"integrity failures",
+             std::to_string(clients.stats().integrity_failures)});
+  t.add_row({"audit", coop.audit().empty() ? "clean" : coop.audit()});
+  t.print("cooperative cache run (" + std::to_string(proxies_n) +
+          " proxies, " + std::to_string(file_bytes / 1024) + " KB docs, a=" +
+          Table::fmt(alpha, 2) + ")");
+  return 0;
+}
+
+int cmd_locks(const Args& args) {
+  const std::string scheme = args.str("scheme", "ncosed");
+  const int waiters = static_cast<int>(args.num("waiters", 8));
+  const std::string mode_name = args.str("mode", "shared");
+  const auto mode = mode_name == "shared" ? dlm::LockMode::kShared
+                                          : dlm::LockMode::kExclusive;
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = static_cast<std::size_t>(waiters + 4),
+                      .cores_per_node = 2});
+  verbs::Network net(fab);
+  std::unique_ptr<dlm::LockManager> mgr;
+  if (scheme == "srsl") {
+    auto srsl = std::make_unique<dlm::SrslLockManager>(net, 0);
+    srsl->start();
+    mgr = std::move(srsl);
+  } else if (scheme == "dqnl") {
+    mgr = std::make_unique<dlm::DqnlLockManager>(net, 0);
+  } else {
+    mgr = std::make_unique<dlm::NcosedLockManager>(net, 0);
+  }
+
+  SimNanos release_at = 0, last_grant = 0;
+  eng.spawn([](sim::Engine& e, dlm::LockManager& m, SimNanos& rel)
+                -> sim::Task<void> {
+    co_await m.lock_exclusive(1, 0);
+    co_await e.delay(milliseconds(1));
+    rel = e.now();
+    co_await m.unlock(1, 0);
+  }(eng, *mgr, release_at));
+  for (int i = 0; i < waiters; ++i) {
+    eng.spawn([](sim::Engine& e, dlm::LockManager& m, fabric::NodeId self,
+                 dlm::LockMode md, SimNanos& last) -> sim::Task<void> {
+      co_await e.delay(microseconds(50 + 10 * self));
+      co_await m.lock(self, 0, md);
+      last = std::max(last, e.now());
+      co_await m.unlock(self, 0);
+    }(eng, *mgr, static_cast<fabric::NodeId>(2 + i), mode, last_grant));
+  }
+  eng.run();
+
+  Table t({"metric", "value"});
+  t.add_row({"scheme", mgr->name()});
+  t.add_row({"mode", mode_name});
+  t.add_row({"waiters", std::to_string(waiters)});
+  t.add_row({"cascade latency",
+             Table::fmt(to_micros(last_grant - release_at), 1) + " us"});
+  t.print("lock cascade run");
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  const std::string scheme_name = args.str("scheme", "rdma-sync");
+  monitor::MonScheme scheme = monitor::MonScheme::kRdmaSync;
+  if (scheme_name == "socket-sync") scheme = monitor::MonScheme::kSocketSync;
+  if (scheme_name == "socket-async") scheme = monitor::MonScheme::kSocketAsync;
+  if (scheme_name == "rdma-async") scheme = monitor::MonScheme::kRdmaAsync;
+  if (scheme_name == "e-rdma-sync") scheme = monitor::MonScheme::kERdmaSync;
+  const int jobs = static_cast<int>(args.num("jobs", 4));
+
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 2, .cores_per_node = 1});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  monitor::ResourceMonitor mon(net, tcp, 0, {1}, scheme);
+  mon.start();
+  for (int j = 0; j < jobs; ++j) eng.spawn(fab.node(1).execute(seconds(1)));
+
+  SimNanos latency = 0;
+  std::uint64_t reported = 0;
+  eng.spawn([](sim::Engine& e, monitor::ResourceMonitor& m, SimNanos& lat,
+               std::uint64_t& rep) -> sim::Task<void> {
+    co_await e.delay(milliseconds(50));
+    const auto t0 = e.now();
+    const auto s = co_await m.query(1);
+    lat = e.now() - t0;
+    rep = s.stats.runnable;
+  }(eng, mon, latency, reported));
+  eng.run_until(milliseconds(200));
+
+  Table t({"metric", "value"});
+  t.add_row({"scheme", monitor::to_string(scheme)});
+  t.add_row({"actual runnable", std::to_string(jobs)});
+  t.add_row({"reported runnable", std::to_string(reported)});
+  t.add_row({"query latency", Table::fmt(to_micros(latency), 1) + " us"});
+  t.add_row({"target CPU consumed by monitoring",
+             std::to_string(fab.node(1).busy_ns() -
+                            static_cast<std::uint64_t>(0)) + " ns (incl. load)"});
+  t.print("resource monitor probe");
+  return 0;
+}
+
+int cmd_storm(const Args& args) {
+  const auto records = static_cast<std::uint64_t>(args.num("records", 100000));
+  const auto plane = args.str("plane", "ddss") == "ddss"
+                         ? storm::ControlPlane::kDdss
+                         : storm::ControlPlane::kSockets;
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 5, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  storm::StormCluster cluster(net, tcp, plane, 0, 1, {2, 3, 4});
+  eng.spawn(cluster.start());
+  eng.run();
+  storm::QueryResult result;
+  eng.spawn([](storm::StormCluster& c, std::uint64_t n,
+               storm::QueryResult& out) -> sim::Task<void> {
+    out = co_await c.run_query(n);
+  }(cluster, records, result));
+  eng.run();
+
+  Table t({"metric", "value"});
+  t.add_row({"control plane", storm::to_string(plane)});
+  t.add_row({"records scanned", std::to_string(result.records_scanned)});
+  t.add_row({"records returned", std::to_string(result.records_returned)});
+  t.add_row({"control-plane ops", std::to_string(result.control_ops)});
+  t.add_row({"query time", Table::fmt(to_millis(result.elapsed), 2) + " ms"});
+  t.print("STORM query run");
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: dcs <command> [--flag value ...]\n\n"
+      "commands:\n"
+      "  params                         dump the fabric cost model\n"
+      "  cache   --scheme AC|BCC|CCWR|MTACC|HYBCC --proxies N --file-kb N\n"
+      "          --alpha F --requests N --cache-mb N --ws-mb N\n"
+      "  locks   --scheme srsl|dqnl|ncosed --waiters N --mode shared|exclusive\n"
+      "  monitor --scheme socket-sync|socket-async|rdma-sync|rdma-async|"
+      "e-rdma-sync --jobs N\n"
+      "  storm   --plane sockets|ddss --records N\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv);
+  if (cmd == "params") return cmd_params();
+  if (cmd == "cache") return cmd_cache(args);
+  if (cmd == "locks") return cmd_locks(args);
+  if (cmd == "monitor") return cmd_monitor(args);
+  if (cmd == "storm") return cmd_storm(args);
+  usage();
+  return 1;
+}
