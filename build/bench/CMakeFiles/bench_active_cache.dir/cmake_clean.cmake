@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_cache.dir/bench_active_cache.cpp.o"
+  "CMakeFiles/bench_active_cache.dir/bench_active_cache.cpp.o.d"
+  "bench_active_cache"
+  "bench_active_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coopcache.dir/bench_coopcache.cpp.o"
+  "CMakeFiles/bench_coopcache.dir/bench_coopcache.cpp.o.d"
+  "bench_coopcache"
+  "bench_coopcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coopcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddss_latency.dir/bench_ddss_latency.cpp.o"
+  "CMakeFiles/bench_ddss_latency.dir/bench_ddss_latency.cpp.o.d"
+  "bench_ddss_latency"
+  "bench_ddss_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddss_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddss_ops.dir/bench_ddss_ops.cpp.o"
+  "CMakeFiles/bench_ddss_ops.dir/bench_ddss_ops.cpp.o.d"
+  "bench_ddss_ops"
+  "bench_ddss_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddss_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dlm_cascade.dir/bench_dlm_cascade.cpp.o"
+  "CMakeFiles/bench_dlm_cascade.dir/bench_dlm_cascade.cpp.o.d"
+  "bench_dlm_cascade"
+  "bench_dlm_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dlm_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flowctl.dir/bench_flowctl.cpp.o"
+  "CMakeFiles/bench_flowctl.dir/bench_flowctl.cpp.o.d"
+  "bench_flowctl"
+  "bench_flowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

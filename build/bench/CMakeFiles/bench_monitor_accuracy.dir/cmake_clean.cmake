@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitor_accuracy.dir/bench_monitor_accuracy.cpp.o"
+  "CMakeFiles/bench_monitor_accuracy.dir/bench_monitor_accuracy.cpp.o.d"
+  "bench_monitor_accuracy"
+  "bench_monitor_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitor_zipf.dir/bench_monitor_zipf.cpp.o"
+  "CMakeFiles/bench_monitor_zipf.dir/bench_monitor_zipf.cpp.o.d"
+  "bench_monitor_zipf"
+  "bench_monitor_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_pager.dir/bench_remote_pager.cpp.o"
+  "CMakeFiles/bench_remote_pager.dir/bench_remote_pager.cpp.o.d"
+  "bench_remote_pager"
+  "bench_remote_pager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_pager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sdp.cpp" "bench/CMakeFiles/bench_sdp.dir/bench_sdp.cpp.o" "gcc" "bench/CMakeFiles/bench_sdp.dir/bench_sdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sockets/CMakeFiles/dcs_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/datacenter/CMakeFiles/dcs_datacenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dcs_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/dcs_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/dcs_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

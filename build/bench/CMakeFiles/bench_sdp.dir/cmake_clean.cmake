@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdp.dir/bench_sdp.cpp.o"
+  "CMakeFiles/bench_sdp.dir/bench_sdp.cpp.o.d"
+  "bench_sdp"
+  "bench_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storm.dir/bench_storm.cpp.o"
+  "CMakeFiles/bench_storm.dir/bench_storm.cpp.o.d"
+  "bench_storm"
+  "bench_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

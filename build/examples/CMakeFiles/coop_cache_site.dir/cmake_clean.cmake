@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop_cache_site.dir/coop_cache_site.cpp.o"
+  "CMakeFiles/coop_cache_site.dir/coop_cache_site.cpp.o.d"
+  "coop_cache_site"
+  "coop_cache_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop_cache_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_pool.dir/memory_pool.cpp.o"
+  "CMakeFiles/memory_pool.dir/memory_pool.cpp.o.d"
+  "memory_pool"
+  "memory_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_queries.dir/storm_queries.cpp.o"
+  "CMakeFiles/storm_queries.dir/storm_queries.cpp.o.d"
+  "storm_queries"
+  "storm_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_cache.dir/active_cache.cpp.o"
+  "CMakeFiles/dcs_cache.dir/active_cache.cpp.o.d"
+  "CMakeFiles/dcs_cache.dir/coop_cache.cpp.o"
+  "CMakeFiles/dcs_cache.dir/coop_cache.cpp.o.d"
+  "CMakeFiles/dcs_cache.dir/remote_pager.cpp.o"
+  "CMakeFiles/dcs_cache.dir/remote_pager.cpp.o.d"
+  "libdcs_cache.a"
+  "libdcs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_common.dir/log.cpp.o"
+  "CMakeFiles/dcs_common.dir/log.cpp.o.d"
+  "CMakeFiles/dcs_common.dir/rng.cpp.o"
+  "CMakeFiles/dcs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dcs_common.dir/stats.cpp.o"
+  "CMakeFiles/dcs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dcs_common.dir/table.cpp.o"
+  "CMakeFiles/dcs_common.dir/table.cpp.o.d"
+  "CMakeFiles/dcs_common.dir/zipf.cpp.o"
+  "CMakeFiles/dcs_common.dir/zipf.cpp.o.d"
+  "libdcs_common.a"
+  "libdcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

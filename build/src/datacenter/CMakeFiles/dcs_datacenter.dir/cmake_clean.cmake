@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_datacenter.dir/admission.cpp.o"
+  "CMakeFiles/dcs_datacenter.dir/admission.cpp.o.d"
+  "CMakeFiles/dcs_datacenter.dir/backend.cpp.o"
+  "CMakeFiles/dcs_datacenter.dir/backend.cpp.o.d"
+  "CMakeFiles/dcs_datacenter.dir/clients.cpp.o"
+  "CMakeFiles/dcs_datacenter.dir/clients.cpp.o.d"
+  "CMakeFiles/dcs_datacenter.dir/qos.cpp.o"
+  "CMakeFiles/dcs_datacenter.dir/qos.cpp.o.d"
+  "CMakeFiles/dcs_datacenter.dir/webfarm.cpp.o"
+  "CMakeFiles/dcs_datacenter.dir/webfarm.cpp.o.d"
+  "CMakeFiles/dcs_datacenter.dir/workload.cpp.o"
+  "CMakeFiles/dcs_datacenter.dir/workload.cpp.o.d"
+  "libdcs_datacenter.a"
+  "libdcs_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_ddss.dir/aggregator.cpp.o"
+  "CMakeFiles/dcs_ddss.dir/aggregator.cpp.o.d"
+  "CMakeFiles/dcs_ddss.dir/ddss.cpp.o"
+  "CMakeFiles/dcs_ddss.dir/ddss.cpp.o.d"
+  "libdcs_ddss.a"
+  "libdcs_ddss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_ddss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_dlm.dir/dqnl.cpp.o"
+  "CMakeFiles/dcs_dlm.dir/dqnl.cpp.o.d"
+  "CMakeFiles/dcs_dlm.dir/ncosed.cpp.o"
+  "CMakeFiles/dcs_dlm.dir/ncosed.cpp.o.d"
+  "CMakeFiles/dcs_dlm.dir/srsl.cpp.o"
+  "CMakeFiles/dcs_dlm.dir/srsl.cpp.o.d"
+  "libdcs_dlm.a"
+  "libdcs_dlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_dlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/dcs_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/dcs_fabric.dir/memory.cpp.o"
+  "CMakeFiles/dcs_fabric.dir/memory.cpp.o.d"
+  "CMakeFiles/dcs_fabric.dir/node.cpp.o"
+  "CMakeFiles/dcs_fabric.dir/node.cpp.o.d"
+  "libdcs_fabric.a"
+  "libdcs_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

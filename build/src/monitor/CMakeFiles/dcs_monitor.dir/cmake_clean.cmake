@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/dcs_monitor.dir/monitor.cpp.o.d"
+  "libdcs_monitor.a"
+  "libdcs_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

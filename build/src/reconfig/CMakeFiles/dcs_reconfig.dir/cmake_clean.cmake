@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_reconfig.dir/reconfig.cpp.o"
+  "CMakeFiles/dcs_reconfig.dir/reconfig.cpp.o.d"
+  "libdcs_reconfig.a"
+  "libdcs_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

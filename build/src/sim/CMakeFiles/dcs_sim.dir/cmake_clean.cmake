@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_sim.dir/engine.cpp.o"
+  "CMakeFiles/dcs_sim.dir/engine.cpp.o.d"
+  "libdcs_sim.a"
+  "libdcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_sockets.dir/flowctl.cpp.o"
+  "CMakeFiles/dcs_sockets.dir/flowctl.cpp.o.d"
+  "CMakeFiles/dcs_sockets.dir/sdp.cpp.o"
+  "CMakeFiles/dcs_sockets.dir/sdp.cpp.o.d"
+  "CMakeFiles/dcs_sockets.dir/tcp.cpp.o"
+  "CMakeFiles/dcs_sockets.dir/tcp.cpp.o.d"
+  "libdcs_sockets.a"
+  "libdcs_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_storm.dir/storm.cpp.o"
+  "CMakeFiles/dcs_storm.dir/storm.cpp.o.d"
+  "libdcs_storm.a"
+  "libdcs_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/dcs_verbs.dir/verbs.cpp.o.d"
+  "libdcs_verbs.a"
+  "libdcs_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

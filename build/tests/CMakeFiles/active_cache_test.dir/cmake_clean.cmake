@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_cache_test.dir/active_cache_test.cpp.o"
+  "CMakeFiles/active_cache_test.dir/active_cache_test.cpp.o.d"
+  "active_cache_test"
+  "active_cache_test.pdb"
+  "active_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

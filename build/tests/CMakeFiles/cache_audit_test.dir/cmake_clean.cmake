@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_audit_test.dir/cache_audit_test.cpp.o"
+  "CMakeFiles/cache_audit_test.dir/cache_audit_test.cpp.o.d"
+  "cache_audit_test"
+  "cache_audit_test.pdb"
+  "cache_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

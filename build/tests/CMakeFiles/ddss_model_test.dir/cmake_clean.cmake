@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddss_model_test.dir/ddss_model_test.cpp.o"
+  "CMakeFiles/ddss_model_test.dir/ddss_model_test.cpp.o.d"
+  "ddss_model_test"
+  "ddss_model_test.pdb"
+  "ddss_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddss_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

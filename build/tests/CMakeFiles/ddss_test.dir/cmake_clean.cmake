@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddss_test.dir/ddss_test.cpp.o"
+  "CMakeFiles/ddss_test.dir/ddss_test.cpp.o.d"
+  "ddss_test"
+  "ddss_test.pdb"
+  "ddss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlm_test.dir/dlm_test.cpp.o"
+  "CMakeFiles/dlm_test.dir/dlm_test.cpp.o.d"
+  "dlm_test"
+  "dlm_test.pdb"
+  "dlm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erdma_test.dir/erdma_test.cpp.o"
+  "CMakeFiles/erdma_test.dir/erdma_test.cpp.o.d"
+  "erdma_test"
+  "erdma_test.pdb"
+  "erdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

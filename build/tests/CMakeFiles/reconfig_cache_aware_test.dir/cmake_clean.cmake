@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_cache_aware_test.dir/reconfig_cache_aware_test.cpp.o"
+  "CMakeFiles/reconfig_cache_aware_test.dir/reconfig_cache_aware_test.cpp.o.d"
+  "reconfig_cache_aware_test"
+  "reconfig_cache_aware_test.pdb"
+  "reconfig_cache_aware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_cache_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

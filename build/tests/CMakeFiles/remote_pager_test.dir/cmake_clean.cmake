@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_pager_test.dir/remote_pager_test.cpp.o"
+  "CMakeFiles/remote_pager_test.dir/remote_pager_test.cpp.o.d"
+  "remote_pager_test"
+  "remote_pager_test.pdb"
+  "remote_pager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_pager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

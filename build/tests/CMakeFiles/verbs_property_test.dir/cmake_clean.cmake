@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_property_test.dir/verbs_property_test.cpp.o"
+  "CMakeFiles/verbs_property_test.dir/verbs_property_test.cpp.o.d"
+  "verbs_property_test"
+  "verbs_property_test.pdb"
+  "verbs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

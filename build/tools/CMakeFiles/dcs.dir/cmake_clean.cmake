@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs.dir/dcs_cli.cpp.o"
+  "CMakeFiles/dcs.dir/dcs_cli.cpp.o.d"
+  "dcs"
+  "dcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
