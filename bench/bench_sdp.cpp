@@ -10,6 +10,7 @@
 #include "common/table.hpp"
 #include "datacenter/backend.hpp"
 #include "sockets/sdp.hpp"
+#include "trace/observe.hpp"
 
 namespace {
 
@@ -112,9 +113,39 @@ BENCHMARK(BM_Sdp)
     ->UseManualTime()
     ->Iterations(1);
 
+// Observed mode (`--trace-out` / `--metrics-out`): one deterministic
+// engine streaming a fixed workload through all three SDP modes, so the
+// emitted trace shows sends, receives and stall spans side by side.  Two
+// invocations produce byte-identical files (see docs/OBSERVABILITY.md).
+int run_observed(const trace::ObserveOptions& opts) {
+  sim::Engine eng;
+  trace::ObservedRun observed(eng, opts);
+  fabric::Fabric fab(eng, fabric::FabricParams{}, {.num_nodes = 2});
+  verbs::Network net(fab);
+  for (const auto mode :
+       {SdpMode::kBufferedCopy, SdpMode::kZeroCopy, SdpMode::kAsyncZeroCopy}) {
+    SdpStream stream(net, 0, 1, mode);
+    constexpr int kMsgs = 8;
+    constexpr std::size_t kBytes = 32768;
+    eng.spawn([](SdpStream& s) -> sim::Task<void> {
+      for (int i = 0; i < kMsgs; ++i) {
+        co_await s.send(std::vector<std::byte>(kBytes));
+      }
+      co_await s.flush();
+    }(stream));
+    eng.spawn([](SdpStream& s) -> sim::Task<void> {
+      for (int i = 0; i < kMsgs; ++i) (void)co_await s.recv();
+    }(stream));
+    eng.run();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto observe = trace::extract_observe_flags(argc, argv);
+  if (observe.enabled()) return run_observed(observe);
   print_table();
   print_datacenter_table();
   benchmark::Initialize(&argc, argv);

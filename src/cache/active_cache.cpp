@@ -1,9 +1,27 @@
 #include "cache/active_cache.hpp"
 
 #include "common/rng.hpp"
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::cache {
+
+namespace {
+struct ActiveMetrics {
+  trace::Counter& requests = reg().counter("cache.active.requests");
+  trace::Counter& served_cached = reg().counter("cache.active.served_cached");
+  trace::Counter& recomputed = reg().counter("cache.active.recomputed");
+  trace::Counter& validations = reg().counter("cache.active.validations");
+  trace::Counter& stale_served = reg().counter("cache.active.stale_served");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+ActiveMetrics& metrics() {
+  static ActiveMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(DynamicPolicy p) {
   switch (p) {
@@ -43,6 +61,9 @@ std::vector<std::byte> ActiveCache::render(
 sim::Task<std::vector<std::byte>> ActiveCache::recompute(
     const std::string& key, const Doc& doc) {
   ++stats_.recomputed;
+  metrics().recomputed.add();
+  DCS_TRACE_SPAN("cache", "active.recompute", proxy_, doc.deps.size(),
+                 to_string(policy_));
   auto client = ddss_.client(proxy_);
   std::vector<std::uint64_t> versions;
   versions.reserve(doc.deps.size());
@@ -61,6 +82,8 @@ sim::Task<std::vector<std::byte>> ActiveCache::recompute(
 
 sim::Task<std::vector<std::byte>> ActiveCache::serve(const std::string& key) {
   ++stats_.requests;
+  metrics().requests.add();
+  DCS_TRACE_SPAN("cache", "active.serve", proxy_, 0, to_string(policy_));
   const auto doc_it = docs_.find(key);
   DCS_CHECK_MSG(doc_it != docs_.end(), "unknown dynamic document");
   const Doc& doc = doc_it->second;
@@ -78,6 +101,7 @@ sim::Task<std::vector<std::byte>> ActiveCache::serve(const std::string& key) {
   if (policy_ == DynamicPolicy::kTtl) {
     if (ddss_.engine().now() - entry.cached_at < config_.ttl) {
       ++stats_.served_cached;
+      metrics().served_cached.add();
       // Staleness accounting (measurement-only: reads simulator ground
       // truth directly, costing no virtual time — a real TTL cache would
       // not, and could not, perform this check).
@@ -89,6 +113,7 @@ sim::Task<std::vector<std::byte>> ActiveCache::serve(const std::string& key) {
             0);
         if (truth != entry.dep_versions[i]) {
           ++stats_.stale_served;
+          metrics().stale_served.add();
           break;
         }
       }
@@ -103,6 +128,7 @@ sim::Task<std::vector<std::byte>> ActiveCache::serve(const std::string& key) {
   for (std::size_t i = 0; i < doc.deps.size(); ++i) {
     const auto v = co_await client.version(doc.deps[i]->allocation());
     ++stats_.validations;
+    metrics().validations.add();
     if (v != entry.dep_versions[i]) {
       valid = false;
       break;
@@ -110,6 +136,7 @@ sim::Task<std::vector<std::byte>> ActiveCache::serve(const std::string& key) {
   }
   if (valid) {
     ++stats_.served_cached;
+    metrics().served_cached.add();
     co_return entry.body;
   }
   co_return co_await recompute(key, doc);

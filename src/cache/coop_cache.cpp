@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <string>
 
+#include "trace/trace.hpp"
+
 namespace dcs::cache {
 
 namespace {
 constexpr std::size_t kDirEntryBytes = 64;  // directory record on the wire
+
+struct CoopMetrics {
+  trace::Counter& local_hits = reg().counter("cache.coop.local_hits");
+  trace::Counter& remote_hits = reg().counter("cache.coop.remote_hits");
+  trace::Counter& misses = reg().counter("cache.coop.misses");
+  trace::Counter& evictions = reg().counter("cache.coop.evictions");
+  trace::Distribution& serve_latency =
+      reg().distribution("cache.coop.serve_latency_ns");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+CoopMetrics& metrics() {
+  static CoopMetrics m;
+  return m;
 }
+}  // namespace
 
 const char* to_string(Scheme s) {
   switch (s) {
@@ -184,6 +202,11 @@ sim::Task<void> CoopCacheService::insert_with_directory(
   std::vector<DocId> evicted;
   store_of(node).insert(id, std::move(body),
                         [&evicted](DocId victim) { evicted.push_back(victim); });
+  if (!evicted.empty()) {
+    metrics().evictions.add(evicted.size());
+    DCS_TRACE_INSTANT("cache", "evict", node, evicted.size(),
+                      to_string(scheme_));
+  }
   co_await dir_add(actor, id, node);
   for (const DocId victim : evicted) {
     co_await dir_remove(actor, victim, node);
@@ -194,32 +217,42 @@ sim::Task<void> CoopCacheService::insert_with_directory(
 
 sim::Task<std::vector<std::byte>> CoopCacheService::serve(NodeId proxy,
                                                           DocId id) {
+  DCS_TRACE_SPAN("cache", "serve", proxy, id, to_string(scheme_));
+  const SimNanos t0 = net_.fabric().engine().now();
   co_await net_.fabric().node(proxy).execute(config_.local_lookup_cpu);
+  std::vector<std::byte> result;
   switch (scheme_) {
     case Scheme::kAC:
-      co_return co_await serve_ac(proxy, id);
+      result = co_await serve_ac(proxy, id);
+      break;
     case Scheme::kBCC:
-      co_return co_await serve_bcc(proxy, id);
+      result = co_await serve_bcc(proxy, id);
+      break;
     case Scheme::kCCWR:
     case Scheme::kMTACC:
-      co_return co_await serve_ccwr(proxy, id);
+      result = co_await serve_ccwr(proxy, id);
+      break;
     case Scheme::kHYBCC:
       if (store_.doc_bytes(id) <= config_.hybrid_small_threshold) {
-        co_return co_await serve_bcc(proxy, id);
+        result = co_await serve_bcc(proxy, id);
+      } else {
+        result = co_await serve_ccwr(proxy, id);
       }
-      co_return co_await serve_ccwr(proxy, id);
+      break;
   }
-  DCS_CHECK_MSG(false, "unreachable");
-  co_return std::vector<std::byte>{};
+  metrics().serve_latency.record_ns(net_.fabric().engine().now() - t0);
+  co_return result;
 }
 
 sim::Task<std::vector<std::byte>> CoopCacheService::serve_ac(NodeId proxy,
                                                              DocId id) {
   if (const auto* body = store_of(proxy).get(id)) {
     ++stats_.local_hits;
+    metrics().local_hits.add();
     co_return *body;
   }
   ++stats_.misses;
+  metrics().misses.add();
   auto body = co_await backend_.fetch(proxy, id);
   store_of(proxy).insert(id, body, [](DocId) {});
   co_return body;
@@ -229,6 +262,7 @@ sim::Task<std::vector<std::byte>> CoopCacheService::serve_bcc(NodeId proxy,
                                                               DocId id) {
   if (const auto* body = store_of(proxy).get(id)) {
     ++stats_.local_hits;
+    metrics().local_hits.add();
     co_return *body;
   }
   const auto holders = co_await dir_lookup(proxy, id);
@@ -237,12 +271,14 @@ sim::Task<std::vector<std::byte>> CoopCacheService::serve_bcc(NodeId proxy,
     auto body = co_await remote_fetch(proxy, holder, id);
     if (body.has_value()) {
       ++stats_.remote_hits;
+      metrics().remote_hits.add();
       // Duplicate locally for future requests (BCC's defining behaviour).
       co_await insert_with_directory(proxy, proxy, id, *body);
       co_return std::move(*body);
     }
   }
   ++stats_.misses;
+  metrics().misses.add();
   auto body = co_await backend_.fetch(proxy, id);
   co_await insert_with_directory(proxy, proxy, id, body);
   co_return body;
@@ -255,16 +291,19 @@ sim::Task<std::vector<std::byte>> CoopCacheService::serve_ccwr(NodeId proxy,
   if (designated == proxy) {
     if (const auto* body = store_of(proxy).get(id)) {
       ++stats_.local_hits;
+      metrics().local_hits.add();
       co_return *body;
     }
   } else {
     auto body = co_await remote_fetch(proxy, designated, id);
     if (body.has_value()) {
       ++stats_.remote_hits;
+      metrics().remote_hits.add();
       co_return std::move(*body);  // no local duplicate
     }
   }
   ++stats_.misses;
+  metrics().misses.add();
   auto body = co_await backend_.fetch(proxy, id);
   if (designated == proxy) {
     co_await insert_with_directory(proxy, proxy, id, body);

@@ -3,11 +3,34 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::ddss {
 
 namespace {
+
+struct DdssMetrics {
+  trace::Counter& put_ops = reg().counter("ddss.put.ops");
+  trace::Counter& put_bytes = reg().counter("ddss.put.bytes");
+  trace::Counter& get_ops = reg().counter("ddss.get.ops");
+  trace::Counter& get_bytes = reg().counter("ddss.get.bytes");
+  trace::Counter& alloc_ops = reg().counter("ddss.alloc.ops");
+  trace::Counter& release_ops = reg().counter("ddss.release.ops");
+  trace::Counter& lock_cas_retries = reg().counter("ddss.lock.cas_retries");
+  trace::Counter& version_retries = reg().counter("ddss.get.version_retries");
+  trace::Counter& temporal_hits = reg().counter("ddss.temporal.cache_hits");
+  trace::Counter& temporal_misses = reg().counter("ddss.temporal.cache_misses");
+  trace::Distribution& put_latency = reg().distribution("ddss.put.latency_ns");
+  trace::Distribution& get_latency = reg().distribution("ddss.get.latency_ns");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+DdssMetrics& metrics() {
+  static DdssMetrics m;
+  return m;
+}
 
 enum class Op : std::uint8_t { kAlloc = 1, kFree = 2 };
 
@@ -171,6 +194,8 @@ sim::Task<void> Client::ipc_hop() {
 sim::Task<Allocation> Client::allocate(std::size_t size, Coherence coherence,
                                        Placement placement) {
   DCS_CHECK(size > 0);
+  metrics().alloc_ops.add();
+  DCS_TRACE_SPAN("ddss", "allocate", node_, size, to_string(coherence));
   co_await ipc_hop();
   const std::size_t storage = ddss_.storage_bytes(size, coherence);
   const NodeId home = ddss_.pick_home(node_, placement, storage);
@@ -199,6 +224,8 @@ sim::Task<Allocation> Client::allocate(std::size_t size, Coherence coherence,
 
 sim::Task<void> Client::release(Allocation alloc) {
   DCS_CHECK(alloc.valid());
+  metrics().release_ops.add();
+  DCS_TRACE_SPAN("ddss", "release", node_, alloc.key);
   co_await ipc_hop();
   invalidate_cached(alloc);
   const std::uint32_t reply_tag =
@@ -240,6 +267,7 @@ sim::Task<void> Client::lock(const Allocation& alloc) {
     const auto old = co_await hca.compare_and_swap(alloc.meta,
                                                    MetaLayout::kLock, 0, self);
     if (old == 0) co_return;
+    metrics().lock_cas_retries.add();
     co_await ddss_.engine().delay(ddss_.config_.lock_backoff);
   }
 }
@@ -256,6 +284,10 @@ sim::Task<void> Client::put(const Allocation& alloc,
                             std::span<const std::byte> value) {
   DCS_CHECK(alloc.valid());
   DCS_CHECK_MSG(value.size() <= alloc.size, "put larger than allocation");
+  metrics().put_ops.add();
+  metrics().put_bytes.add(value.size());
+  DCS_TRACE_SPAN("ddss", "put", node_, alloc.key, to_string(alloc.coherence));
+  const SimNanos put_t0 = ddss_.engine().now();
   co_await ipc_hop();
   auto& hca = ddss_.net_.hca(node_);
   switch (alloc.coherence) {
@@ -308,11 +340,16 @@ sim::Task<void> Client::put(const Allocation& alloc,
       break;
     }
   }
+  metrics().put_latency.record_ns(ddss_.engine().now() - put_t0);
 }
 
 sim::Task<void> Client::get(const Allocation& alloc, std::span<std::byte> out) {
   DCS_CHECK(alloc.valid());
   DCS_CHECK_MSG(out.size() <= alloc.size, "get larger than allocation");
+  metrics().get_ops.add();
+  metrics().get_bytes.add(out.size());
+  DCS_TRACE_SPAN("ddss", "get", node_, alloc.key, to_string(alloc.coherence));
+  const SimNanos get_t0 = ddss_.engine().now();
   co_await ipc_hop();
   auto& hca = ddss_.net_.hca(node_);
   switch (alloc.coherence) {
@@ -346,8 +383,11 @@ sim::Task<void> Client::get(const Allocation& alloc, std::span<std::byte> out) {
           now - it->second.fetched_at < ddss_.config_.temporal_ttl &&
           it->second.value.size() >= out.size()) {
         std::copy_n(it->second.value.begin(), out.size(), out.begin());
+        metrics().temporal_hits.add();
+        metrics().get_latency.record_ns(ddss_.engine().now() - get_t0);
         co_return;
       }
+      metrics().temporal_misses.add();
       co_await hca.read(alloc.data, 0, out);
       Ddss::CacheEntry entry;
       entry.value.assign(out.begin(), out.end());
@@ -359,6 +399,7 @@ sim::Task<void> Client::get(const Allocation& alloc, std::span<std::byte> out) {
       break;
     }
   }
+  metrics().get_latency.record_ns(ddss_.engine().now() - get_t0);
 }
 
 sim::Task<std::uint64_t> Client::get_versioned(const Allocation& alloc,
@@ -373,6 +414,7 @@ sim::Task<std::uint64_t> Client::get_versioned(const Allocation& alloc,
     const auto v1 = verbs::load_u64(v1_img, 0);
     const auto v2 = verbs::load_u64(v2_img, 0);
     if (v1 == v2) co_return v2;
+    metrics().version_retries.add();
     co_await ddss_.engine().delay(ddss_.config_.lock_backoff);
   }
 }

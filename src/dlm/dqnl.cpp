@@ -1,8 +1,26 @@
 #include "dlm/dqnl.hpp"
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::dlm {
+
+namespace {
+struct DqnlMetrics {
+  trace::Counter& locks = reg().counter("dlm.dqnl.lock_acquires");
+  trace::Counter& unlocks = reg().counter("dlm.dqnl.unlocks");
+  trace::Counter& cas_retries = reg().counter("dlm.dqnl.cas_retries");
+  trace::Distribution& lock_latency =
+      reg().distribution("dlm.dqnl.lock_latency_ns");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+DqnlMetrics& metrics() {
+  static DqnlMetrics m;
+  return m;
+}
+}  // namespace
 
 DqnlLockManager::DqnlLockManager(verbs::Network& net, NodeId home,
                                  std::size_t max_locks)
@@ -21,6 +39,9 @@ sim::Task<void> DqnlLockManager::lock(NodeId self, LockId id, LockMode mode) {
   // DQNL has no shared mode; readers queue like writers.
   (void)mode;
   DCS_CHECK(id < max_locks_);
+  metrics().locks.add();
+  DCS_TRACE_SPAN("dlm", "lock", self, id, "DQNL");
+  const SimNanos t0 = net_.fabric().engine().now();
   auto& hca = net_.hca(self);
   const std::size_t off = static_cast<std::size_t>(id) * 8;
   const std::uint64_t me = self + 1;
@@ -33,17 +54,24 @@ sim::Task<void> DqnlLockManager::lock(NodeId self, LockId id, LockMode mode) {
     if (old == prev) break;
     prev = old;
     ++cas_retries_;
+    metrics().cas_retries.add();
   }
 
-  if (prev == 0) co_return;  // lock was free
+  if (prev == 0) {
+    metrics().lock_latency.record_ns(net_.fabric().engine().now() - t0);
+    co_return;  // lock was free
+  }
   // Tell the previous tail we are behind it, then wait for its grant.
   co_await hca.send(static_cast<NodeId>(prev - 1), tags::kDqnlWait + id,
                     verbs::Encoder().u32(self).take());
   (void)co_await hca.recv(tags::kDqnlGrant + id);
+  metrics().lock_latency.record_ns(net_.fabric().engine().now() - t0);
 }
 
 sim::Task<void> DqnlLockManager::unlock(NodeId self, LockId id) {
   DCS_CHECK(id < max_locks_);
+  metrics().unlocks.add();
+  DCS_TRACE_SPAN("dlm", "unlock", self, id, "DQNL");
   auto& hca = net_.hca(self);
   const std::size_t off = static_cast<std::size_t>(id) * 8;
   const std::uint64_t me = self + 1;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::dlm {
@@ -9,6 +10,25 @@ namespace dcs::dlm {
 namespace {
 std::uint64_t holder_key(NodeId node, LockId id) {
   return (static_cast<std::uint64_t>(node) << 32) | id;
+}
+
+struct NcosedMetrics {
+  trace::Counter& shared_locks = reg().counter("dlm.ncosed.shared_acquires");
+  trace::Counter& excl_locks = reg().counter("dlm.ncosed.exclusive_acquires");
+  trace::Counter& unlocks = reg().counter("dlm.ncosed.unlocks");
+  trace::Counter& drain_polls = reg().counter("dlm.ncosed.drain_polls");
+  trace::Counter& handoffs = reg().counter("dlm.ncosed.direct_handoffs");
+  trace::Histogram& cascade_depth =
+      reg().histogram("dlm.ncosed.cascade_depth");
+  trace::Distribution& lock_latency =
+      reg().distribution("dlm.ncosed.lock_latency_ns");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+NcosedMetrics& metrics() {
+  static NcosedMetrics m;
+  return m;
 }
 }  // namespace
 
@@ -32,17 +52,26 @@ sim::Task<void> NcosedLockManager::lock(NodeId self, LockId id,
   DCS_CHECK(id < max_locks_);
   const auto key = holder_key(self, id);
   DCS_CHECK_MSG(!held_.contains(key), "N-CoSED: node already holds this lock");
+  DCS_TRACE_SPAN("dlm", "lock", self, id,
+                 mode == LockMode::kShared ? "N-CoSED/shared"
+                                           : "N-CoSED/exclusive");
+  const SimNanos t0 = net_.fabric().engine().now();
   if (mode == LockMode::kShared) {
+    metrics().shared_locks.add();
     co_await lock_shared_impl(self, id);
   } else {
+    metrics().excl_locks.add();
     co_await lock_exclusive_impl(self, id);
   }
+  metrics().lock_latency.record_ns(net_.fabric().engine().now() - t0);
   held_[key] = mode;
 }
 
 sim::Task<void> NcosedLockManager::unlock(NodeId self, LockId id) {
   const auto it = held_.find(holder_key(self, id));
   DCS_CHECK_MSG(it != held_.end(), "N-CoSED: unlock without hold");
+  metrics().unlocks.add();
+  DCS_TRACE_SPAN("dlm", "unlock", self, id, "N-CoSED");
   const LockMode mode = it->second;
   held_.erase(it);
   if (mode == LockMode::kShared) {
@@ -112,6 +141,7 @@ sim::Task<void> NcosedLockManager::drain_shared(NodeId self, LockId id,
     std::byte img[8];
     co_await hca.read(table_, w1_off(id), img);
     ++drain_polls_;
+    metrics().drain_polls.add();
     if (verbs::load_u64(img, 0) >= target) co_return;
     co_await eng.delay(poll_interval_);
   }
@@ -119,6 +149,11 @@ sim::Task<void> NcosedLockManager::drain_shared(NodeId self, LockId id,
 
 sim::Task<void> NcosedLockManager::grant_shared_batch(NodeId self, LockId id,
                                                       std::uint32_t count) {
+  if (count > 0) {
+    // Cascade depth: how many shared grants one release fans out to.
+    metrics().cascade_depth.record(count);
+    DCS_TRACE_INSTANT("dlm", "cascade_grant", self, count, "N-CoSED");
+  }
   auto& hca = net_.hca(self);
   std::vector<NodeId> waiters;
   waiters.reserve(count);
@@ -156,6 +191,7 @@ sim::Task<void> NcosedLockManager::unlock_exclusive_impl(NodeId self,
     verbs::Decoder dec(pending->payload);
     const NodeId successor = dec.u32();
     const std::uint32_t owed_shared = dec.u32();
+    metrics().handoffs.add();
     co_await grant_shared_batch(self, id, owed_shared);
     co_await hca.send(successor, tags::kNcHandoff + id,
                       verbs::Encoder().u32(id).take());

@@ -1,11 +1,27 @@
 #include "dlm/srsl.hpp"
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::dlm {
 
 namespace {
 enum class Req : std::uint8_t { kLock = 1, kUnlock = 2 };
+
+struct SrslMetrics {
+  trace::Counter& locks = reg().counter("dlm.srsl.lock_acquires");
+  trace::Counter& unlocks = reg().counter("dlm.srsl.unlocks");
+  trace::Counter& requests = reg().counter("dlm.srsl.server_requests");
+  trace::Distribution& lock_latency =
+      reg().distribution("dlm.srsl.lock_latency_ns");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+SrslMetrics& metrics() {
+  static SrslMetrics m;
+  return m;
+}
 
 std::uint64_t holder_key(NodeId node, LockId id) {
   return (static_cast<std::uint64_t>(node) << 32) | id;
@@ -27,6 +43,7 @@ sim::Task<void> SrslLockManager::server_loop() {
   for (;;) {
     verbs::Message msg = co_await hca.recv(tags::kSrslRequest);
     ++requests_served_;
+    metrics().requests.add();
     verbs::Decoder dec(msg.payload);
     const auto req = static_cast<Req>(dec.u8());
     const LockId id = dec.u32();
@@ -85,6 +102,10 @@ sim::Task<void> SrslLockManager::send_grant(NodeId to, LockId id) {
 
 sim::Task<void> SrslLockManager::lock(NodeId self, LockId id, LockMode mode) {
   DCS_CHECK(id < tags::kTagStride);
+  metrics().locks.add();
+  DCS_TRACE_SPAN("dlm", "lock", self, id,
+                 mode == LockMode::kShared ? "SRSL/shared" : "SRSL/exclusive");
+  const SimNanos t0 = net_.fabric().engine().now();
   auto& hca = net_.hca(self);
   verbs::Encoder req;
   req.u8(static_cast<std::uint8_t>(Req::kLock))
@@ -92,9 +113,12 @@ sim::Task<void> SrslLockManager::lock(NodeId self, LockId id, LockMode mode) {
       .u8(static_cast<std::uint8_t>(mode));
   co_await hca.send(server_, tags::kSrslRequest, req.take());
   (void)co_await hca.recv(tags::kSrslGrant + id);
+  metrics().lock_latency.record_ns(net_.fabric().engine().now() - t0);
 }
 
 sim::Task<void> SrslLockManager::unlock(NodeId self, LockId id) {
+  metrics().unlocks.add();
+  DCS_TRACE_SPAN("dlm", "unlock", self, id, "SRSL");
   auto& hca = net_.hca(self);
   verbs::Encoder req;
   req.u8(static_cast<std::uint8_t>(Req::kUnlock))

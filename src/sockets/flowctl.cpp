@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace dcs::sockets {
+
+namespace {
+struct FlowMetrics {
+  trace::Counter& sends = reg().counter("sockets.flowctl.sends");
+  trace::Counter& bytes = reg().counter("sockets.flowctl.bytes");
+  trace::Counter& stalls = reg().counter("sockets.flowctl.credit_stalls");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+FlowMetrics& flow_metrics() {
+  static FlowMetrics m;
+  return m;
+}
+}  // namespace
 
 FlowStreamBase::FlowStreamBase(verbs::Network& net, NodeId src, NodeId dst,
                                FlowConfig config)
@@ -44,7 +61,16 @@ sim::Task<void> CreditStream::send(std::size_t bytes) {
                 "message larger than staging buffer");
   auto& fab = net_.fabric();
   const auto& p = fab.params();
-  co_await credits_.acquire();
+  DCS_TRACE_SPAN("sockets", "flowctl.send", src_, bytes, "credit");
+  if (credits_.available() == 0) {
+    flow_metrics().stalls.add();
+    DCS_TRACE_SPAN("sockets", "flowctl.credit_stall", src_, bytes);
+    co_await credits_.acquire();
+  } else {
+    co_await credits_.acquire();
+  }
+  flow_metrics().sends.add();
+  flow_metrics().bytes.add(bytes);
   ++stats_.messages_sent;
   stats_.payload_bytes += bytes;
   ++stats_.buffers_consumed;
@@ -58,6 +84,9 @@ sim::Task<void> PacketizedStream::send(std::size_t bytes) {
                 "message larger than staging buffer");
   auto& fab = net_.fabric();
   const auto& p = fab.params();
+  DCS_TRACE_SPAN("sockets", "flowctl.send", src_, bytes, "packetized");
+  flow_metrics().sends.add();
+  flow_metrics().bytes.add(bytes);
   if (fill_ + bytes > config_.buffer_bytes) {
     co_await ship(fill_);
     fill_ = 0;
@@ -77,7 +106,13 @@ sim::Task<void> PacketizedStream::flush() {
 }
 
 sim::Task<void> PacketizedStream::ship(std::size_t filled) {
-  co_await credits_.acquire();
+  if (credits_.available() == 0) {
+    flow_metrics().stalls.add();
+    DCS_TRACE_SPAN("sockets", "flowctl.credit_stall", src_, filled);
+    co_await credits_.acquire();
+  } else {
+    co_await credits_.acquire();
+  }
   ++stats_.buffers_consumed;
   co_await net_.hca(src_).raw_write(dst_, filled);
   arrivals_.push(ArrivedBuffer{filled});

@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <memory>
 
+#include "trace/trace.hpp"
+
 namespace dcs::sockets {
+
+namespace {
+struct SdpMetrics {
+  trace::Counter& sends = reg().counter("sockets.sdp.sends");
+  trace::Counter& bytes = reg().counter("sockets.sdp.bytes");
+  trace::Counter& recvs = reg().counter("sockets.sdp.recvs");
+  trace::Counter& credit_stalls = reg().counter("sockets.sdp.credit_stalls");
+  trace::Counter& window_stalls = reg().counter("sockets.sdp.window_stalls");
+  trace::Distribution& send_latency =
+      reg().distribution("sockets.sdp.send_latency_ns");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+SdpMetrics& metrics() {
+  static SdpMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(SdpMode mode) {
   switch (mode) {
@@ -32,6 +53,11 @@ SdpStream::SdpStream(verbs::Network& net, NodeId src, NodeId dst, SdpMode mode,
 
 sim::Task<void> SdpStream::send(std::vector<std::byte> payload) {
   bytes_sent_ += payload.size();
+  metrics().sends.add();
+  metrics().bytes.add(payload.size());
+  DCS_TRACE_SPAN("sockets", "sdp.send", src_, payload.size(),
+                 to_string(mode_));
+  const SimNanos t0 = net_.fabric().engine().now();
   switch (mode_) {
     case SdpMode::kBufferedCopy:
       co_await send_buffered(std::move(payload));
@@ -44,6 +70,7 @@ sim::Task<void> SdpStream::send(std::vector<std::byte> payload) {
       break;
   }
   ++sends_completed_;
+  metrics().send_latency.record_ns(net_.fabric().engine().now() - t0);
 }
 
 // --- BSDP ---
@@ -65,7 +92,13 @@ sim::Task<void> SdpStream::send_buffered(std::vector<std::byte> payload) {
     // Each staging buffer needs a credit, whether it carries 1 byte or 8 KB.
     // Credits come back chunk-by-chunk as the receiver copies them out, so
     // messages larger than (credits x buffer) still make progress.
-    co_await credits_.acquire();
+    if (credits_.available() == 0) {
+      metrics().credit_stalls.add();
+      DCS_TRACE_SPAN("sockets", "sdp.credit_stall", src_, this_chunk);
+      co_await credits_.acquire();
+    } else {
+      co_await credits_.acquire();
+    }
     // Copy user data into the pre-registered staging buffer.
     co_await fab.node(src_).execute(p.copy_time(this_chunk));
     // Push the wire work into the background so successive copies pipeline
@@ -119,7 +152,13 @@ sim::Task<void> SdpStream::send_async_zero_copy(std::vector<std::byte> payload) 
   // Block only when the window of outstanding protected buffers is full —
   // the moment the paper's design would block an application that touches
   // a still-protected buffer.
-  co_await window_.acquire();
+  if (window_.available() == 0) {
+    metrics().window_stalls.add();
+    DCS_TRACE_SPAN("sockets", "sdp.window_stall", src_, payload.size());
+    co_await window_.acquire();
+  } else {
+    co_await window_.acquire();
+  }
   // Memory-protect the user buffer and return control immediately.  (The
   // paper's design keeps a registration cache, so steady-state sends pay
   // mprotect, not registration.)
@@ -153,6 +192,8 @@ sim::Task<void> SdpStream::flush() {
 sim::Task<std::vector<std::byte>> SdpStream::recv() {
   auto& fab = net_.fabric();
   const auto& p = fab.params();
+  DCS_TRACE_SPAN("sockets", "sdp.recv", dst_, 0, to_string(mode_));
+  metrics().recvs.add();
   for (;;) {
     Delivery d = co_await deliveries_.recv();
     if (d.completion != nullptr) {

@@ -1,10 +1,25 @@
 #include "sockets/tcp.hpp"
 
+#include "trace/trace.hpp"
+
 namespace dcs::sockets {
 
 namespace {
 constexpr std::size_t kTcpHeaderBytes = 66;  // eth + ip + tcp headers
+
+struct TcpMetrics {
+  trace::Counter& sends = reg().counter("sockets.tcp.sends");
+  trace::Counter& send_bytes = reg().counter("sockets.tcp.send_bytes");
+  trace::Counter& recvs = reg().counter("sockets.tcp.recvs");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+TcpMetrics& metrics() {
+  static TcpMetrics m;
+  return m;
 }
+}  // namespace
 
 TcpConnection::TcpConnection(TcpNetwork& net, NodeId a, NodeId b)
     : net_(net), a_(a), b_(b), to_a_(net.engine()), to_b_(net.engine()) {}
@@ -23,6 +38,9 @@ sim::Task<void> TcpConnection::send(NodeId self, std::vector<std::byte> payload)
   auto& fab = net_.fabric();
   const auto& p = fab.params();
   const NodeId dst = peer_of(self);
+  metrics().sends.add();
+  metrics().send_bytes.add(payload.size());
+  DCS_TRACE_SPAN("sockets", "tcp.send", self, payload.size());
   // Sender kernel path: user->kernel copy + protocol processing (on-CPU).
   co_await fab.node(self).execute(p.tcp_per_message_cpu +
                                   p.copy_time(payload.size()));
@@ -34,6 +52,8 @@ sim::Task<std::vector<std::byte>> TcpConnection::recv(NodeId self) {
   auto& fab = net_.fabric();
   const auto& p = fab.params();
   auto payload = co_await inbound(self).queue.recv();
+  metrics().recvs.add();
+  DCS_TRACE_SPAN("sockets", "tcp.recv", self, payload.size());
   // Interrupt + softirq, then process-context receive: copies the payload to
   // user space.  Runs through the scheduler, so it queues behind load.
   co_await fab.engine().delay(p.tcp_interrupt_latency);

@@ -1,0 +1,65 @@
+#include "trace/observe.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace dcs::trace {
+
+namespace {
+
+/// Finds `flag <value>` in argv[1..], removes both, returns the value.
+std::string take_flag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    std::string value = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    argv[argc] = nullptr;
+    return value;
+  }
+  return {};
+}
+
+}  // namespace
+
+ObserveOptions extract_observe_flags(int& argc, char** argv) {
+  ObserveOptions opts;
+  opts.trace_out = take_flag(argc, argv, "--trace-out");
+  opts.metrics_out = take_flag(argc, argv, "--metrics-out");
+  return opts;
+}
+
+ObservedRun::ObservedRun(sim::Engine& eng, ObserveOptions opts)
+    : opts_(std::move(opts)), tracer_(eng) {
+  if (!opts_.enabled()) return;
+  Registry::global().reset();
+  if (!opts_.trace_out.empty()) tracer_.install();
+}
+
+ObservedRun::~ObservedRun() {
+  tracer_.uninstall();
+  if (!opts_.trace_out.empty()) {
+    std::ofstream os(opts_.trace_out);
+    if (os) {
+      tracer_.write_chrome_json(os);
+      std::fprintf(stderr, "trace: %zu events -> %s\n", tracer_.event_count(),
+                   opts_.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace: cannot open %s\n", opts_.trace_out.c_str());
+    }
+  }
+  if (!opts_.metrics_out.empty()) {
+    std::ofstream os(opts_.metrics_out);
+    if (os) {
+      Registry::global().write(os);
+      std::fprintf(stderr, "metrics: %zu metrics -> %s\n",
+                   Registry::global().size(), opts_.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: cannot open %s\n",
+                   opts_.metrics_out.c_str());
+    }
+  }
+}
+
+}  // namespace dcs::trace

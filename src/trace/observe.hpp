@@ -1,0 +1,50 @@
+// CLI glue for the observability layer: `--trace-out` / `--metrics-out`
+// flag handling and an RAII scope that installs a tracer for a run and
+// writes the requested files when the run ends.  Shared by the benches and
+// the `dcs` scenario driver so every binary spells the flags the same way.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace dcs::trace {
+
+/// Output destinations for one observed run.  Empty string = not requested.
+struct ObserveOptions {
+  std::string trace_out;    // Chrome trace_event JSON file
+  std::string metrics_out;  // plain-text metrics dump file
+
+  bool enabled() const { return !trace_out.empty() || !metrics_out.empty(); }
+};
+
+/// Removes `--trace-out <file>` and `--metrics-out <file>` from argv
+/// (shifting later arguments down and decrementing argc) and returns the
+/// extracted values.  Call before handing argv to another parser such as
+/// benchmark::Initialize.
+ObserveOptions extract_observe_flags(int& argc, char** argv);
+
+/// Observes one simulation run.  Construction resets the global metrics
+/// registry (so the output stands alone) and, when a trace file was
+/// requested, installs a tracer bound to `eng`.  Destruction uninstalls
+/// the tracer and writes the requested files; failures to open a file are
+/// reported on stderr but never abort the run.
+///
+/// Declare it after the engine and before the workload:
+///
+///   sim::Engine eng;
+///   trace::ObservedRun observed(eng, opts);
+///   ... build topology, spawn, eng.run() ...
+class ObservedRun {
+ public:
+  ObservedRun(sim::Engine& eng, ObserveOptions opts);
+  ~ObservedRun();
+  ObservedRun(const ObservedRun&) = delete;
+  ObservedRun& operator=(const ObservedRun&) = delete;
+
+ private:
+  ObserveOptions opts_;
+  Tracer tracer_;
+};
+
+}  // namespace dcs::trace

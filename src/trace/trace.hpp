@@ -1,0 +1,247 @@
+// Cross-layer observability: a metrics registry plus a simulated-time
+// event tracer.
+//
+// Two independent pieces, one vocabulary (see docs/OBSERVABILITY.md):
+//
+//   Registry  named counters / gauges / latency stats / log-histograms.
+//             A layer resolves its handles once (the lookup is a map walk)
+//             and then updates them with plain arithmetic — near-zero cost
+//             on the hot path.  Names follow `layer.component.metric`.
+//             `Registry::global()` is the process-wide instance every
+//             built-in layer registers into; handles stay valid forever
+//             (reset() zeroes values but never removes entries).
+//
+//   Tracer    records spans (op type, node, id, start/end sim::Time) and
+//             instant events while installed as the process-wide current
+//             tracer.  Emits Chrome `trace_event` JSON (load in
+//             chrome://tracing or https://ui.perfetto.dev) and a plain-text
+//             per-operation summary table.  With no tracer installed the
+//             instrumentation costs exactly one pointer test per site.
+//
+// Both outputs are deterministic: the simulation engine replays
+// identically for a given seed, and the writers format numbers with fixed
+// precision, so two same-seed runs produce byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace dcs::trace {
+
+// --- metrics registry ---
+
+/// Monotonic event count.
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t delta = 1) { value += delta; }
+};
+
+/// Last-written instantaneous value (queue depth, cached bytes, ...).
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// Latency/size distribution summarized online (count/mean/min/max/stddev).
+struct Distribution {
+  RunningStat stat;
+  void record(double v) { stat.add(v); }
+  void record_ns(SimNanos t) { stat.add(static_cast<double>(t)); }
+};
+
+/// Power-of-two bucketed histogram (cascade depths, batch sizes, ...).
+struct Histogram {
+  LogHistogram hist;
+  void record(std::uint64_t v) { hist.add(v); }
+};
+
+/// Named metric store.  Registration is idempotent: the first call for a
+/// name creates the metric, later calls return the same object, and the
+/// returned reference is stable for the registry's lifetime (node-based
+/// storage).  Registering the same name as two different kinds is a
+/// programming error and asserts.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation uses.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Distribution& distribution(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Lookup without registration; nullptr when `name` is absent or of a
+  /// different kind.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Distribution* find_distribution(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// All registered names in sorted order (the emission order of write()).
+  std::vector<std::string> names() const;
+  std::size_t size() const { return metrics_.size(); }
+
+  /// Zeroes every value but keeps all registrations (handles stay valid).
+  /// Call before a run whose metrics output must stand alone.
+  void reset();
+
+  /// Folds `other` into this registry: counters add, gauges take the other
+  /// side's value, distributions merge exactly (Welford), histograms add
+  /// bucket-wise.  Metrics absent on one side are created.
+  void merge(const Registry& other);
+
+  /// Plain-text dump, one metric per line, sorted by name, fixed-precision
+  /// numbers — byte-deterministic for identical metric state.
+  void write(std::ostream& os) const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kDistribution, kHist };
+  struct Metric {
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Distribution dist;
+    Histogram hist;
+  };
+
+  Metric& get(std::string_view name, Kind kind);
+
+  // std::map: stable nodes (references survive later insertions) and
+  // sorted iteration for deterministic output.
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+// --- simulated-time tracer ---
+
+/// One recorded event.  Category/name/detail must be string literals (or
+/// otherwise outlive the tracer): events store the pointers, not copies,
+/// so recording is a few stores with no allocation.
+struct TraceEvent {
+  const char* category = "";   // layer, e.g. "verbs"
+  const char* name = "";       // operation, e.g. "read"
+  const char* detail = nullptr;  // optional qualifier, e.g. "Strict"
+  std::uint64_t id = 0;        // qp / lock / key / byte count
+  sim::Time start = 0;
+  sim::Time end = 0;           // == start for instants
+  std::uint32_t node = 0;
+  char phase = 'X';            // 'X' complete span, 'i' instant
+};
+
+class Tracer {
+ public:
+  /// Binds to the engine whose virtual clock timestamps events.
+  explicit Tracer(sim::Engine& eng) : eng_(eng) {}
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Makes this the process-wide current tracer (at most one at a time).
+  void install();
+  /// Stops recording; safe to call when not installed.
+  void uninstall();
+
+  sim::Time now() const { return eng_.now(); }
+
+  void instant(const char* category, const char* name, std::uint32_t node,
+               std::uint64_t id = 0, const char* detail = nullptr);
+  void complete(const char* category, const char* name, std::uint32_t node,
+                std::uint64_t id, const char* detail, sim::Time start,
+                sim::Time end);
+
+  std::size_t event_count() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Chrome trace_event JSON (chrome://tracing, Perfetto).  One process
+  /// per simulated node, one thread per category.  Deterministic.
+  void write_chrome_json(std::ostream& os) const;
+  /// Plain-text per-(category,name) aggregate: count, total/mean/min/max
+  /// span time in microseconds.  Deterministic.
+  void write_summary(std::ostream& os) const;
+
+ private:
+  sim::Engine& eng_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The installed tracer, or nullptr (the one-branch gate every
+/// instrumentation site tests).
+Tracer* current_tracer();
+
+/// RAII span: records start time at construction, emits a complete event
+/// at destruction.  Lives in a coroutine frame across co_awaits.  When no
+/// tracer is installed construction and destruction are each one branch.
+class Span {
+ public:
+  Span(const char* category, const char* name, std::uint32_t node,
+       std::uint64_t id = 0, const char* detail = nullptr) {
+    if (Tracer* t = current_tracer()) {
+      tracer_ = t;
+      category_ = category;
+      name_ = name;
+      detail_ = detail;
+      id_ = id;
+      node_ = node;
+      start_ = t->now();
+    }
+  }
+  ~Span() {
+    // Re-check installation: a span parked in a coroutine frame may be
+    // destroyed at engine teardown, after the tracer was uninstalled.
+    if (tracer_ != nullptr && tracer_ == current_tracer()) {
+      tracer_->complete(category_, name_, node_, id_, detail_, start_,
+                        tracer_->now());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* category_ = "";
+  const char* name_ = "";
+  const char* detail_ = nullptr;
+  std::uint64_t id_ = 0;
+  sim::Time start_ = 0;
+  std::uint32_t node_ = 0;
+};
+
+}  // namespace dcs::trace
+
+// --- instrumentation macros ---
+//
+// Compile-time removable (define DCS_TRACE_DISABLED) and runtime-cheap:
+// with tracing compiled in but no tracer installed each site costs one
+// pointer test.  Arguments after `node` are optional: (id) or
+// (id, detail).
+#ifndef DCS_TRACE_DISABLED
+#define DCS_TRACE_CAT_(a, b) a##b
+#define DCS_TRACE_CAT(a, b) DCS_TRACE_CAT_(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define DCS_TRACE_SPAN(category, name, node, ...)                \
+  ::dcs::trace::Span DCS_TRACE_CAT(dcs_trace_span_, __LINE__) {  \
+    category, name, node __VA_OPT__(, ) __VA_ARGS__              \
+  }
+/// Zero-duration marker at the current virtual time.
+#define DCS_TRACE_INSTANT(category, name, node, ...)              \
+  do {                                                            \
+    if (auto* dcs_trace_t = ::dcs::trace::current_tracer()) {     \
+      dcs_trace_t->instant(category, name,                        \
+                           node __VA_OPT__(, ) __VA_ARGS__);      \
+    }                                                             \
+  } while (0)
+#else
+#define DCS_TRACE_SPAN(category, name, node, ...) ((void)0)
+#define DCS_TRACE_INSTANT(category, name, node, ...) ((void)0)
+#endif

@@ -4,11 +4,39 @@
 #include <cstring>
 #include <string>
 
+#include "trace/trace.hpp"
+
 namespace dcs::verbs {
 
 namespace {
 constexpr std::size_t kHeaderBytes = 32;  // transport header on payloads
+
+/// Handles into the global registry, resolved once per process.
+struct Metrics {
+  trace::Counter& read_ops = reg().counter("verbs.read.ops");
+  trace::Counter& read_bytes = reg().counter("verbs.read.bytes");
+  trace::Counter& write_ops = reg().counter("verbs.write.ops");
+  trace::Counter& write_bytes = reg().counter("verbs.write.bytes");
+  trace::Counter& cas_ops = reg().counter("verbs.cas.ops");
+  trace::Counter& faa_ops = reg().counter("verbs.faa.ops");
+  trace::Counter& raw_write_ops = reg().counter("verbs.raw_write.ops");
+  trace::Counter& raw_write_bytes = reg().counter("verbs.raw_write.bytes");
+  trace::Counter& raw_read_ops = reg().counter("verbs.raw_read.ops");
+  trace::Counter& raw_read_bytes = reg().counter("verbs.raw_read.bytes");
+  trace::Counter& send_msgs = reg().counter("verbs.send.msgs");
+  trace::Counter& send_bytes = reg().counter("verbs.send.bytes");
+  trace::Counter& recv_msgs = reg().counter("verbs.recv.msgs");
+  trace::Counter& multicast_msgs = reg().counter("verbs.multicast.msgs");
+  trace::Counter& remote_errors = reg().counter("verbs.hca.remote_errors");
+
+  static trace::Registry& reg() { return trace::Registry::global(); }
+};
+
+Metrics& metrics() {
+  static Metrics m;
+  return m;
 }
+}  // namespace
 
 Hca::Hca(Network& net, fabric::Fabric& fab, NodeId node)
     : net_(net), fab_(fab), node_(node) {}
@@ -66,6 +94,8 @@ sim::Task<void> Hca::check_alive(NodeId target) {
   // The RC engine retransmits until the retry count is exhausted, then
   // completes the WQE in error.
   co_await engine().delay(fab_.params().op_timeout);
+  metrics().remote_errors.add();
+  DCS_TRACE_INSTANT("verbs", "remote_timeout", node_, target);
   throw RemoteTimeoutError("remote node " + std::to_string(target) +
                            " unreachable (retries exhausted)");
 }
@@ -75,6 +105,9 @@ sim::Task<void> Hca::check_alive(NodeId target) {
 sim::Task<void> Hca::read(RemoteRegion target, std::size_t offset,
                           std::span<std::byte> dst) {
   ++one_sided_ops_;
+  metrics().read_ops.add();
+  metrics().read_bytes.add(dst.size());
+  DCS_TRACE_SPAN("verbs", "read", node_, target.rkey);
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -96,6 +129,9 @@ sim::Task<void> Hca::read(RemoteRegion target, std::size_t offset,
 sim::Task<void> Hca::write(RemoteRegion target, std::size_t offset,
                            std::span<const std::byte> src) {
   ++one_sided_ops_;
+  metrics().write_ops.add();
+  metrics().write_bytes.add(src.size());
+  DCS_TRACE_SPAN("verbs", "write", node_, target.rkey);
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -119,6 +155,8 @@ sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
                                                std::uint64_t compare,
                                                std::uint64_t swap) {
   ++one_sided_ops_;
+  metrics().cas_ops.add();
+  DCS_TRACE_SPAN("verbs", "cas", node_, target.rkey);
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -147,6 +185,8 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
                                             std::size_t offset,
                                             std::uint64_t add) {
   ++one_sided_ops_;
+  metrics().faa_ops.add();
+  DCS_TRACE_SPAN("verbs", "faa", node_, target.rkey);
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -170,6 +210,9 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
 
 sim::Task<void> Hca::raw_write(NodeId dst, std::size_t bytes) {
   ++one_sided_ops_;
+  metrics().raw_write_ops.add();
+  metrics().raw_write_bytes.add(bytes);
+  DCS_TRACE_SPAN("verbs", "raw_write", node_, bytes);
   co_await check_alive(dst);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -182,6 +225,9 @@ sim::Task<void> Hca::raw_write(NodeId dst, std::size_t bytes) {
 
 sim::Task<void> Hca::raw_read(NodeId dst, std::size_t bytes) {
   ++one_sided_ops_;
+  metrics().raw_read_ops.add();
+  metrics().raw_read_bytes.add(bytes);
+  DCS_TRACE_SPAN("verbs", "raw_read", node_, bytes);
   co_await check_alive(dst);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -197,6 +243,8 @@ sim::Task<void> Hca::multicast(std::span<const NodeId> group,
                                std::vector<std::byte> payload) {
   DCS_CHECK_MSG(!group.empty(), "multicast to empty group");
   ++messages_sent_;
+  metrics().multicast_msgs.add();
+  DCS_TRACE_SPAN("verbs", "multicast", node_, payload.size());
   auto& eng = engine();
   const auto& p = fab_.params();
   co_await eng.delay(p.send_post_overhead);
@@ -230,6 +278,9 @@ void Hca::deliver(Message msg) { queue_for(msg.tag).push(std::move(msg)); }
 sim::Task<void> Hca::send(NodeId dst, std::uint32_t tag,
                           std::vector<std::byte> payload) {
   ++messages_sent_;
+  metrics().send_msgs.add();
+  metrics().send_bytes.add(payload.size());
+  DCS_TRACE_SPAN("verbs", "send", node_, tag);
   co_await check_alive(dst);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -243,6 +294,8 @@ sim::Task<void> Hca::send(NodeId dst, std::uint32_t tag,
 
 sim::Task<Message> Hca::recv(std::uint32_t tag) {
   Message msg = co_await queue_for(tag).recv();
+  metrics().recv_msgs.add();
+  DCS_TRACE_INSTANT("verbs", "recv", node_, tag);
   // Consuming a completion costs a little CPU on the receiving host.
   co_await host().execute_unsliced(fab_.params().recv_consume_cpu);
   co_return msg;

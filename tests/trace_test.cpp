@@ -1,0 +1,222 @@
+// Observability layer: metrics registry semantics, tracer span recording,
+// CLI flag extraction, and the headline guarantee — two same-seed runs
+// produce byte-identical trace and metrics output.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sockets/sdp.hpp"
+#include "trace/observe.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace dcs;
+
+// --- registry ---
+
+TEST(TraceRegistryTest, RegistrationIsIdempotentWithStableHandles) {
+  trace::Registry reg;
+  trace::Counter& c1 = reg.counter("layer.comp.ops");
+  c1.add(2);
+  trace::Counter& c2 = reg.counter("layer.comp.ops");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value, 2u);
+  // Handles survive arbitrary later registrations (node-based storage).
+  for (int i = 0; i < 100; ++i) reg.counter("filler." + std::to_string(i));
+  EXPECT_EQ(&reg.counter("layer.comp.ops"), &c1);
+  EXPECT_EQ(reg.size(), 101u);
+}
+
+TEST(TraceRegistryTest, FindRespectsNameAndKind) {
+  trace::Registry reg;
+  reg.counter("a.b.ops").add(5);
+  reg.gauge("a.b.depth").set(3.5);
+  ASSERT_NE(reg.find_counter("a.b.ops"), nullptr);
+  EXPECT_EQ(reg.find_counter("a.b.ops")->value, 5u);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_counter("a.b.depth"), nullptr);  // wrong kind
+  ASSERT_NE(reg.find_gauge("a.b.depth"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("a.b.depth")->value, 3.5);
+}
+
+TEST(TraceRegistryTest, ResetZeroesValuesButKeepsRegistrations) {
+  trace::Registry reg;
+  trace::Counter& c = reg.counter("a.ops");
+  c.add(7);
+  reg.distribution("a.lat").record(12.0);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(c.value, 0u);  // same handle, zeroed
+  EXPECT_EQ(reg.find_distribution("a.lat")->stat.count(), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.find_counter("a.ops")->value, 1u);
+}
+
+TEST(TraceRegistryTest, MergeFoldsEveryMetricKind) {
+  trace::Registry a;
+  trace::Registry b;
+  a.counter("n.ops").add(3);
+  b.counter("n.ops").add(4);
+  b.counter("only.b").add(1);
+  a.distribution("n.lat").record(1.0);
+  b.distribution("n.lat").record(3.0);
+  b.gauge("n.depth").set(9.0);
+  b.histogram("n.batch").record(5);
+  b.histogram("n.batch").record(6);
+  a.merge(b);
+  EXPECT_EQ(a.find_counter("n.ops")->value, 7u);
+  EXPECT_EQ(a.find_counter("only.b")->value, 1u);
+  EXPECT_EQ(a.find_distribution("n.lat")->stat.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.find_distribution("n.lat")->stat.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.find_gauge("n.depth")->value, 9.0);
+  EXPECT_EQ(a.find_histogram("n.batch")->hist.count(), 2u);
+}
+
+TEST(TraceRegistryTest, WriteIsSortedAndParseable) {
+  trace::Registry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  std::ostringstream os;
+  reg.write(os);
+  const std::string out = os.str();
+  EXPECT_LT(out.find("counter a.first 2"), out.find("counter z.last 1"));
+}
+
+// --- tracer ---
+
+TEST(TracerTest, NoTracerInstalledRecordsNothing) {
+  sim::Engine eng;
+  trace::Tracer tracer(eng);  // never installed
+  {
+    DCS_TRACE_SPAN("test", "op", 0, 1);
+    DCS_TRACE_INSTANT("test", "mark", 0);
+  }
+  EXPECT_EQ(trace::current_tracer(), nullptr);
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, RecordsNestedSpansAndInstantsAtVirtualTime) {
+  sim::Engine eng;
+  trace::Tracer tracer(eng);
+  tracer.install();
+  eng.spawn([](sim::Engine& e) -> sim::Task<void> {
+    DCS_TRACE_SPAN("test", "outer", 1, 42);
+    co_await e.delay(100);
+    {
+      DCS_TRACE_SPAN("test", "inner", 1, 43, "nested");
+      co_await e.delay(50);
+    }
+    DCS_TRACE_INSTANT("test", "mark", 1, 7);
+    co_await e.delay(10);
+  }(eng));
+  eng.run();
+  tracer.uninstall();
+
+  // Spans close inner-first; the instant fires between the two closes.
+  ASSERT_EQ(tracer.event_count(), 3u);
+  const auto& evs = tracer.events();
+  EXPECT_STREQ(evs[0].name, "inner");
+  EXPECT_EQ(evs[0].start, 100u);
+  EXPECT_EQ(evs[0].end, 150u);
+  EXPECT_STREQ(evs[0].detail, "nested");
+  EXPECT_STREQ(evs[1].name, "mark");
+  EXPECT_EQ(evs[1].phase, 'i');
+  EXPECT_EQ(evs[1].start, 150u);
+  EXPECT_STREQ(evs[2].name, "outer");
+  EXPECT_EQ(evs[2].start, 0u);
+  EXPECT_EQ(evs[2].end, 160u);
+  EXPECT_EQ(evs[2].id, 42u);
+
+  std::ostringstream json;
+  tracer.write_chrome_json(json);
+  EXPECT_NE(json.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"ph\":\"i\""), std::string::npos);
+}
+
+// --- CLI flag extraction ---
+
+TEST(ObserveFlagsTest, ExtractsAndRemovesBothFlags) {
+  std::vector<std::string> storage = {"bench",       "--foo",        "--trace-out",
+                                      "t.json",      "--bar",        "1",
+                                      "--metrics-out", "m.txt"};
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  int argc = static_cast<int>(storage.size());
+  const auto opts = trace::extract_observe_flags(argc, argv.data());
+  EXPECT_TRUE(opts.enabled());
+  EXPECT_EQ(opts.trace_out, "t.json");
+  EXPECT_EQ(opts.metrics_out, "m.txt");
+  ASSERT_EQ(argc, 4);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--foo");
+  EXPECT_STREQ(argv[2], "--bar");
+  EXPECT_STREQ(argv[3], "1");
+  EXPECT_EQ(argv[4], nullptr);
+}
+
+TEST(ObserveFlagsTest, AbsentFlagsDisableObservation) {
+  std::vector<std::string> storage = {"bench", "--foo"};
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  int argc = 2;
+  const auto opts = trace::extract_observe_flags(argc, argv.data());
+  EXPECT_FALSE(opts.enabled());
+  EXPECT_EQ(argc, 2);
+}
+
+// --- determinism: the headline guarantee ---
+
+/// One traced SDP workload (all three modes on a fresh engine), returning
+/// everything the observability layer can emit, concatenated.
+std::string traced_sdp_run() {
+  trace::Registry::global().reset();
+  sim::Engine eng;
+  trace::Tracer tracer(eng);
+  tracer.install();
+  fabric::Fabric fab(eng, fabric::FabricParams{}, {.num_nodes = 2});
+  verbs::Network net(fab);
+  for (const auto mode :
+       {sockets::SdpMode::kBufferedCopy, sockets::SdpMode::kZeroCopy,
+        sockets::SdpMode::kAsyncZeroCopy}) {
+    sockets::SdpStream stream(net, 0, 1, mode);
+    constexpr int kMsgs = 8;
+    eng.spawn([](sockets::SdpStream& s) -> sim::Task<void> {
+      for (int i = 0; i < kMsgs; ++i) {
+        co_await s.send(std::vector<std::byte>(32768));
+      }
+      co_await s.flush();
+    }(stream));
+    eng.spawn([](sockets::SdpStream& s) -> sim::Task<void> {
+      for (int i = 0; i < kMsgs; ++i) (void)co_await s.recv();
+    }(stream));
+    eng.run();
+  }
+  tracer.uninstall();
+  std::ostringstream json;
+  std::ostringstream metrics;
+  std::ostringstream summary;
+  tracer.write_chrome_json(json);
+  trace::Registry::global().write(metrics);
+  tracer.write_summary(summary);
+  return json.str() + "\n---\n" + metrics.str() + "\n---\n" + summary.str();
+}
+
+TEST(TraceDeterminismTest, SameSeedRunsProduceByteIdenticalOutput) {
+  const std::string first = traced_sdp_run();
+  const std::string second = traced_sdp_run();
+  EXPECT_EQ(first, second);
+
+  // The run exercised real instrumentation, not an empty trace.
+  EXPECT_NE(first.find("\"cat\":\"sockets\""), std::string::npos);
+  EXPECT_NE(first.find("counter sockets.sdp.sends 24"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("sockets.sdp.send |"), std::string::npos);
+}
+
+}  // namespace

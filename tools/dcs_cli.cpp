@@ -26,6 +26,7 @@
 #include "dlm/srsl.hpp"
 #include "monitor/monitor.hpp"
 #include "storm/storm.hpp"
+#include "trace/observe.hpp"
 
 using namespace dcs;
 
@@ -56,6 +57,13 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Every command takes `--trace-out <file>` / `--metrics-out <file>`; the
+/// returned options feed a trace::ObservedRun scoped around the engine.
+trace::ObserveOptions observe_opts(const Args& args) {
+  return {.trace_out = args.str("trace-out", ""),
+          .metrics_out = args.str("metrics-out", "")};
+}
 
 int cmd_params() {
   const fabric::FabricParams p;
@@ -97,6 +105,7 @@ int cmd_cache(const Args& args) {
   const std::size_t ws_mb = static_cast<std::size_t>(args.num("ws-mb", 12));
 
   sim::Engine eng;
+  trace::ObservedRun observed(eng, observe_opts(args));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 6 + proxies_n, .cores_per_node = 2,
                       .mem_per_node = 64u << 20});
@@ -150,6 +159,7 @@ int cmd_locks(const Args& args) {
   const auto mode = mode_name == "shared" ? dlm::LockMode::kShared
                                           : dlm::LockMode::kExclusive;
   sim::Engine eng;
+  trace::ObservedRun observed(eng, observe_opts(args));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = static_cast<std::size_t>(waiters + 4),
                       .cores_per_node = 2});
@@ -204,6 +214,7 @@ int cmd_monitor(const Args& args) {
   const int jobs = static_cast<int>(args.num("jobs", 4));
 
   sim::Engine eng;
+  trace::ObservedRun observed(eng, observe_opts(args));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 2, .cores_per_node = 1});
   verbs::Network net(fab);
@@ -242,6 +253,7 @@ int cmd_storm(const Args& args) {
                          ? storm::ControlPlane::kDdss
                          : storm::ControlPlane::kSockets;
   sim::Engine eng;
+  trace::ObservedRun observed(eng, observe_opts(args));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 5, .cores_per_node = 2});
   verbs::Network net(fab);
@@ -276,7 +288,10 @@ void usage() {
       "  locks   --scheme srsl|dqnl|ncosed --waiters N --mode shared|exclusive\n"
       "  monitor --scheme socket-sync|socket-async|rdma-sync|rdma-async|"
       "e-rdma-sync --jobs N\n"
-      "  storm   --plane sockets|ddss --records N\n");
+      "  storm   --plane sockets|ddss --records N\n\n"
+      "observability (any command except params):\n"
+      "  --trace-out FILE    write a Chrome trace_event JSON of the run\n"
+      "  --metrics-out FILE  write the metrics registry dump of the run\n");
 }
 
 }  // namespace

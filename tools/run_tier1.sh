@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, and run the full ctest suite.
+# This is the exact sequence CI and reviewers use; a fresh clone passes with
+# nothing but CMake and a C++20 toolchain (GTest/benchmark are fetched or
+# found by the top-level CMakeLists).
+#
+# Usage: tools/run_tier1.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
