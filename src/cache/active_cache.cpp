@@ -107,6 +107,9 @@ sim::Task<std::vector<std::byte>> ActiveCache::serve(const std::string& key) {
       // not, and could not, perform this check).
       for (std::size_t i = 0; i < doc.deps.size(); ++i) {
         const auto& alloc = doc.deps[i]->allocation();
+        audit::host_read(alloc.home,
+                         alloc.meta.addr + ddss::MetaLayout::kVersion, 8,
+                         "cache.ttl.truth-read");
         const auto truth = verbs::load_u64(
             ddss_.network().fabric().node(alloc.home).memory().bytes(
                 alloc.meta.addr + ddss::MetaLayout::kVersion, 8),

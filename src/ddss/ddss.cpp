@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "audit/audit.hpp"
 #include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
@@ -152,7 +153,15 @@ sim::Task<void> Ddss::daemon(NodeId node) {
         } else {
           auto data = hca.register_region(data_addr, payload_bytes);
           auto meta = hca.allocate_region(MetaLayout::kSize);
+          // Metadata is all polled synchronization words (lock, version,
+          // head, timestamp): accesses there are release/acquire edges for
+          // the race checker, not data accesses.
+          if (auto* a = audit::Auditor::current()) {
+            a->mark_sync_range(node, meta.addr, MetaLayout::kSize);
+          }
           // Zero the metadata words (lock free, version 0, head 0).
+          audit::host_write(node, meta.addr, MetaLayout::kSize,
+                            "ddss.daemon.zero-meta");
           auto meta_bytes =
               hca.host().memory().bytes(meta.addr, MetaLayout::kSize);
           std::fill(meta_bytes.begin(), meta_bytes.end(), std::byte{0});
@@ -167,6 +176,10 @@ sim::Task<void> Ddss::daemon(NodeId node) {
       case Op::kFree: {
         auto data = decode_region(dec);
         auto meta = decode_region(dec);
+        if (auto* a = audit::Auditor::current()) {
+          a->unmark_sync_range(node, meta.addr);
+          a->unmark_optimistic_range(node, data.addr);
+        }
         hca.deregister(data.rkey);
         hca.host().memory().free(data.addr);
         hca.free_region(meta);
@@ -219,6 +232,18 @@ sim::Task<Allocation> Client::allocate(std::size_t size, Coherence coherence,
   alloc.home = home;
   alloc.data = decode_region(dec);
   alloc.meta = decode_region(dec);
+  // Under version-validated and best-effort models, concurrent access to
+  // the data region is the protocol's documented behaviour (readers detect
+  // torn data via the version word and retry), so it is exempt from race
+  // checking.  Lock-based models keep full checking: a concurrent access
+  // there means a lock bug.
+  if (alloc.coherence != Coherence::kWrite &&
+      alloc.coherence != Coherence::kStrict) {
+    if (auto* a = audit::Auditor::current()) {
+      a->mark_optimistic_range(alloc.data.node, alloc.data.addr,
+                               alloc.data.len);
+    }
+  }
   co_return alloc;
 }
 

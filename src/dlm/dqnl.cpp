@@ -1,5 +1,6 @@
 #include "dlm/dqnl.hpp"
 
+#include "audit/audit.hpp"
 #include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
@@ -26,12 +27,20 @@ DqnlLockManager::DqnlLockManager(verbs::Network& net, NodeId home,
                                  std::size_t max_locks)
     : net_(net), home_(home), max_locks_(max_locks) {
   table_ = net_.hca(home_).allocate_region(max_locks_ * 8);
+  // The table is all CAS-polled lock words: release/acquire edges, not data.
+  if (auto* a = audit::Auditor::current()) {
+    a->mark_sync_range(home_, table_.addr, max_locks_ * 8);
+  }
+  audit::host_write(home_, table_.addr, max_locks_ * 8, "dlm.dqnl.zero-table");
   auto bytes = net_.fabric().node(home_).memory().bytes(table_.addr,
                                                         max_locks_ * 8);
   std::fill(bytes.begin(), bytes.end(), std::byte{0});
 }
 
 DqnlLockManager::~DqnlLockManager() {
+  if (auto* a = audit::Auditor::current()) {
+    a->unmark_sync_range(home_, table_.addr);
+  }
   net_.hca(home_).free_region(table_);
 }
 
@@ -58,6 +67,9 @@ sim::Task<void> DqnlLockManager::lock(NodeId self, LockId id, LockMode mode) {
   }
 
   if (prev == 0) {
+    if (auto* a = audit::Auditor::current()) {
+      a->lock_granted(this, "dqnl", id, self, /*exclusive=*/true);
+    }
     metrics().lock_latency.record_ns(net_.fabric().engine().now() - t0);
     co_return;  // lock was free
   }
@@ -65,6 +77,9 @@ sim::Task<void> DqnlLockManager::lock(NodeId self, LockId id, LockMode mode) {
   co_await hca.send(static_cast<NodeId>(prev - 1), tags::kDqnlWait + id,
                     verbs::Encoder().u32(self).take());
   (void)co_await hca.recv(tags::kDqnlGrant + id);
+  if (auto* a = audit::Auditor::current()) {
+    a->lock_granted(this, "dqnl", id, self, /*exclusive=*/true);
+  }
   metrics().lock_latency.record_ns(net_.fabric().engine().now() - t0);
 }
 
@@ -75,11 +90,17 @@ sim::Task<void> DqnlLockManager::unlock(NodeId self, LockId id) {
   auto& hca = net_.hca(self);
   const std::size_t off = static_cast<std::size_t>(id) * 8;
   const std::uint64_t me = self + 1;
+  if (auto* a = audit::Auditor::current()) {
+    a->lock_released(this, "dqnl", id, self);
+  }
 
   // Direct handoff: a successor that already announced itself gets the lock
   // with a single message, no atomic needed.
   if (auto pending = hca.try_recv(tags::kDqnlWait + id)) {
     const NodeId successor = verbs::Decoder(pending->payload).u32();
+    if (auto* a = audit::Auditor::current()) {
+      a->lock_handoff(this, "dqnl", id, self, successor);
+    }
     co_await hca.send(successor, tags::kDqnlGrant + id,
                       verbs::Encoder().u32(id).take());
     co_return;
@@ -92,6 +113,9 @@ sim::Task<void> DqnlLockManager::unlock(NodeId self, LockId id) {
   // Someone swapped in behind us; their notification names our successor.
   verbs::Message msg = co_await hca.recv(tags::kDqnlWait + id);
   const NodeId successor = verbs::Decoder(msg.payload).u32();
+  if (auto* a = audit::Auditor::current()) {
+    a->lock_handoff(this, "dqnl", id, self, successor);
+  }
   co_await hca.send(successor, tags::kDqnlGrant + id,
                     verbs::Encoder().u32(id).take());
 }

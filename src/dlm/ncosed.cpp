@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
@@ -40,12 +41,23 @@ NcosedLockManager::NcosedLockManager(verbs::Network& net, NodeId home,
       max_locks_(max_locks),
       poll_interval_(drain_poll_interval) {
   table_ = net_.hca(home_).allocate_region(max_locks_ * kEntryBytes);
+  // The lock window (W0/W1 words) is polled synchronization state.
+  if (auto* a = audit::Auditor::current()) {
+    a->mark_sync_range(home_, table_.addr, max_locks_ * kEntryBytes);
+  }
+  audit::host_write(home_, table_.addr, max_locks_ * kEntryBytes,
+                    "dlm.ncosed.zero-table");
   auto bytes = net_.fabric().node(home_).memory().bytes(
       table_.addr, max_locks_ * kEntryBytes);
   std::fill(bytes.begin(), bytes.end(), std::byte{0});
 }
 
-NcosedLockManager::~NcosedLockManager() { net_.hca(home_).free_region(table_); }
+NcosedLockManager::~NcosedLockManager() {
+  if (auto* a = audit::Auditor::current()) {
+    a->unmark_sync_range(home_, table_.addr);
+  }
+  net_.hca(home_).free_region(table_);
+}
 
 sim::Task<void> NcosedLockManager::lock(NodeId self, LockId id,
                                         LockMode mode) {
@@ -63,6 +75,10 @@ sim::Task<void> NcosedLockManager::lock(NodeId self, LockId id,
     metrics().excl_locks.add();
     co_await lock_exclusive_impl(self, id);
   }
+  if (auto* a = audit::Auditor::current()) {
+    a->lock_granted(this, "ncosed", id, self,
+                    /*exclusive=*/mode == LockMode::kExclusive);
+  }
   metrics().lock_latency.record_ns(net_.fabric().engine().now() - t0);
   held_[key] = mode;
 }
@@ -74,6 +90,9 @@ sim::Task<void> NcosedLockManager::unlock(NodeId self, LockId id) {
   DCS_TRACE_SPAN("dlm", "unlock", self, id, "N-CoSED");
   const LockMode mode = it->second;
   held_.erase(it);
+  if (auto* a = audit::Auditor::current()) {
+    a->lock_released(this, "ncosed", id, self);
+  }
   if (mode == LockMode::kShared) {
     co_await unlock_shared_impl(self, id);
   } else {
@@ -192,6 +211,9 @@ sim::Task<void> NcosedLockManager::unlock_exclusive_impl(NodeId self,
     const NodeId successor = dec.u32();
     const std::uint32_t owed_shared = dec.u32();
     metrics().handoffs.add();
+    if (auto* a = audit::Auditor::current()) {
+      a->lock_handoff(this, "ncosed", id, self, successor);
+    }
     co_await grant_shared_batch(self, id, owed_shared);
     co_await hca.send(successor, tags::kNcHandoff + id,
                       verbs::Encoder().u32(id).take());
@@ -219,6 +241,9 @@ sim::Task<void> NcosedLockManager::unlock_exclusive_impl(NodeId self,
     verbs::Decoder dec(msg.payload);
     const NodeId successor = dec.u32();
     const std::uint32_t owed_shared = dec.u32();
+    if (auto* a = audit::Auditor::current()) {
+      a->lock_handoff(this, "ncosed", id, self, successor);
+    }
     co_await grant_shared_batch(self, id, owed_shared);
     co_await hca.send(successor, tags::kNcHandoff + id,
                       verbs::Encoder().u32(id).take());

@@ -1,5 +1,6 @@
 #include "dlm/srsl.hpp"
 
+#include "audit/audit.hpp"
 #include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
@@ -67,6 +68,9 @@ sim::Task<void> SrslLockManager::server_loop() {
           --st.shared_holders;
         }
         held_.erase(it);
+        if (auto* a = audit::Auditor::current()) {
+          a->lock_released(this, "srsl", id, msg.src);
+        }
         co_await grant_from_queue(id, st);
         break;
       }
@@ -85,12 +89,18 @@ sim::Task<void> SrslLockManager::grant_from_queue(LockId id, LockState& st) {
       st.exclusive_held = true;
       st.exclusive_holder = w.node;
       held_[holder_key(w.node, id)] = LockMode::kExclusive;
+      if (auto* a = audit::Auditor::current()) {
+        a->lock_granted(this, "srsl", id, w.node, /*exclusive=*/true);
+      }
       co_await send_grant(w.node, id);
       break;
     }
     st.queue.pop_front();
     ++st.shared_holders;
     held_[holder_key(w.node, id)] = LockMode::kShared;
+    if (auto* a = audit::Auditor::current()) {
+      a->lock_granted(this, "srsl", id, w.node, /*exclusive=*/false);
+    }
     co_await send_grant(w.node, id);
   }
 }

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "audit/audit.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::monitor {
@@ -9,6 +10,16 @@ namespace dcs::monitor {
 namespace {
 constexpr SimNanos kDaemonCpu = microseconds(20);  // /proc read + format
 constexpr std::size_t kStatsWireBytes = 64;
+
+/// The kernel rewrites its stats page continuously while monitors RDMA-read
+/// it.  Torn snapshots are tolerated by design (monitoring data), so the
+/// page is exempt from race checking.
+void mark_kernel_page(fabric::Fabric& fab, NodeId t) {
+  if (auto* a = audit::Auditor::current()) {
+    a->mark_optimistic_range(t, fab.node(t).kernel_page_addr(),
+                             KernelStats::kSize);
+  }
+}
 
 std::vector<std::byte> encode_sample(const KernelStats& stats, SimNanos at) {
   verbs::Encoder enc;
@@ -84,12 +95,14 @@ void ResourceMonitor::start() {
             t, net_.hca(t).register_region(
                    net_.fabric().node(t).kernel_page_addr(),
                    KernelStats::kSize));
+        mark_kernel_page(net_.fabric(), t);
         break;
       case MonScheme::kRdmaAsync:
         kernel_pages_.emplace(
             t, net_.hca(t).register_region(
                    net_.fabric().node(t).kernel_page_addr(),
                    KernelStats::kSize));
+        mark_kernel_page(net_.fabric(), t);
         eng.spawn(rdma_poller(t));
         break;
     }

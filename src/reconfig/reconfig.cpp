@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "audit/audit.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::reconfig {
@@ -14,6 +15,15 @@ SharedAssignment::SharedAssignment(verbs::Network& net, NodeId home,
     : net_(net), home_(home), size_(initial.size()) {
   DCS_CHECK(size_ > 0);
   region_ = net_.hca(home_).allocate_region(8 + size_ * 4);
+  // Word 0 is the CAS-polled coordination lock; the assignment array after
+  // it is read optimistically (readers tolerate mid-update snapshots).
+  if (auto* a = audit::Auditor::current()) {
+    a->mark_sync_range(home_, region_.addr, 8);
+    a->mark_optimistic_range(home_, region_.addr + 8, size_ * 4);
+  }
+  audit::host_write(home_, region_.addr, 8, "reconfig.assignment.init");
+  audit::host_write(home_, region_.addr + 8, size_ * 4,
+                    "reconfig.assignment.init");
   auto bytes =
       net_.fabric().node(home_).memory().bytes(region_.addr, 8 + size_ * 4);
   std::fill(bytes.begin(), bytes.end(), std::byte{0});
@@ -22,7 +32,13 @@ SharedAssignment::SharedAssignment(verbs::Network& net, NodeId home,
   }
 }
 
-SharedAssignment::~SharedAssignment() { net_.hca(home_).free_region(region_); }
+SharedAssignment::~SharedAssignment() {
+  if (auto* a = audit::Auditor::current()) {
+    a->unmark_sync_range(home_, region_.addr);
+    a->unmark_optimistic_range(home_, region_.addr + 8);
+  }
+  net_.hca(home_).free_region(region_);
+}
 
 sim::Task<void> SharedAssignment::lock(NodeId actor) {
   auto& hca = net_.hca(actor);

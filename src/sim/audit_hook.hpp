@@ -1,0 +1,79 @@
+// Low-level instrumentation interface for dynamic checkers (see src/audit).
+//
+// The engine and the synchronization primitives publish the events a
+// happens-before checker needs — coroutine scheduling, strand suspension and
+// resumption, and release/acquire pairs on sync objects — through a single
+// process-wide hook slot.  The simulator itself has no idea what a checker
+// does with them: `dcs::audit::Auditor` installs itself here, and with no
+// hook installed every call site costs exactly one pointer test.
+//
+// Vocabulary (mirrors docs/AUDIT.md):
+//   strand   one logical thread of execution: a spawned root process and
+//            everything it runs synchronously between suspension points.
+//   token    opaque strand identity saved across a suspension so the checker
+//            can re-establish "who is running" when the coroutine resumes.
+//            0 is reserved for "nothing saved" (e.g. an awaiter whose
+//            await_ready fast path never suspended).
+#pragma once
+
+#include <cstdint>
+
+namespace dcs::sim {
+
+class AuditHook {
+ public:
+  AuditHook() = default;
+  AuditHook(const AuditHook&) = delete;
+  AuditHook& operator=(const AuditHook&) = delete;
+  virtual ~AuditHook() = default;
+
+  // --- engine scheduling ---
+
+  /// A handle was queued for resumption.  The checker snapshots the
+  /// scheduling strand's happens-before context: waking someone is an edge.
+  virtual void on_schedule(void* handle) = 0;
+  /// A handle queued by Engine::spawn: its first resumption starts a fresh
+  /// strand (child of the spawning strand).
+  virtual void on_spawn(void* handle) = 0;
+  /// The engine is about to resume `handle`.
+  virtual void on_dispatch(void* handle) = 0;
+
+  // --- strand save/restore around suspension points ---
+
+  /// Called from await_suspend: returns a token naming the current strand.
+  virtual std::uint64_t suspend_strand() = 0;
+  /// Called from await_resume with the token from suspend_strand (or 0 when
+  /// the awaiter never suspended).  Re-installs the strand as current.
+  virtual void resume_strand(std::uint64_t token) = 0;
+
+  // --- run-loop barriers ---
+  //
+  // The process is single-threaded: everything the run-loop caller did
+  // before entering run_until() happens-before every event dispatched in
+  // that run, and everything dispatched happens-before the caller's code
+  // after run_until() returns.  These two callbacks let the checker model
+  // that, so test code inspecting memory between runs is never reported as
+  // racing with strand accesses.
+
+  /// run_until() entered: the calling context becomes a barrier source.
+  virtual void on_run_start() = 0;
+  /// run_until() returned: the calling context joins all strand histories.
+  virtual void on_run_done() = 0;
+
+  // --- release/acquire edges on sync objects ---
+
+  /// The current strand released `obj` (event set, channel push, semaphore
+  /// release): later acquirers of `obj` happen-after everything so far.
+  virtual void release(const void* obj) = 0;
+  /// The current strand acquired `obj` (event observed set, channel item
+  /// received, semaphore permit taken).
+  virtual void acquire(const void* obj) = 0;
+};
+
+/// The installed hook, or nullptr.  Single-threaded process: plain pointer.
+inline AuditHook*& audit_hook() {
+  static AuditHook* hook = nullptr;
+  return hook;
+}
+
+}  // namespace dcs::sim

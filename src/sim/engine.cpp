@@ -13,6 +13,7 @@ Engine::~Engine() {
 void Engine::schedule(std::coroutine_handle<> h, Time t) {
   DCS_CHECK_MSG(t >= now_, "cannot schedule into the past");
   queue_.push(Entry{t, seq_++, h});
+  if (auto* hook = audit_hook()) hook->on_schedule(h.address());
 }
 
 void Engine::spawn(Task<void> task) {
@@ -21,6 +22,9 @@ void Engine::spawn(Task<void> task) {
   h.promise().owner = this;
   roots_.emplace(h.address(), h);
   schedule_now(h);
+  // After schedule_now so the fresh-strand mark survives the snapshot taken
+  // by on_schedule.
+  if (auto* hook = audit_hook()) hook->on_spawn(h.address());
 }
 
 void Engine::on_root_done(std::coroutine_handle<> h, std::exception_ptr error) {
@@ -43,6 +47,7 @@ void Engine::run() { run_until(~Time{0}); }
 
 void Engine::run_until(Time t) {
   stopped_ = false;
+  if (auto* hook = audit_hook()) hook->on_run_start();
   while (!stopped_ && !queue_.empty()) {
     const Entry e = queue_.top();
     if (e.t > t) break;
@@ -50,12 +55,14 @@ void Engine::run_until(Time t) {
     DCS_CHECK(e.t >= now_);
     now_ = e.t;
     ++dispatched_;
+    if (auto* hook = audit_hook()) hook->on_dispatch(e.h.address());
     e.h.resume();
     reap_finished();
   }
   // Virtual time passes up to the bound even if no event lands exactly on it
   // (unless the loop was stopped early or drained an unbounded run).
   if (!stopped_ && now_ < t && t != ~Time{0}) now_ = t;
+  if (auto* hook = audit_hook()) hook->on_run_done();
   if (error_) {
     auto err = std::exchange(error_, nullptr);
     std::rethrow_exception(err);
@@ -66,6 +73,9 @@ namespace {
 Task<void> run_and_signal(Task<void> task, std::size_t& remaining,
                           std::coroutine_handle<>& waiter, Engine& eng) {
   co_await std::move(task);
+  // Joining is a sync edge from every finishing child to the waiter, not
+  // just from the last one that schedules it.
+  if (auto* hook = audit_hook()) hook->release(&remaining);
   if (--remaining == 0 && waiter) eng.schedule_now(waiter);
 }
 }  // namespace
@@ -80,11 +90,21 @@ Task<void> Engine::when_all(std::vector<Task<void>> tasks) {
   if (remaining > 0) {
     struct Suspend {
       std::coroutine_handle<>& slot;
+      std::size_t* join_obj;
+      std::uint64_t audit_token = 0;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { slot = h; }
-      void await_resume() const noexcept {}
+      void await_suspend(std::coroutine_handle<> h) {
+        slot = h;
+        if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
+      }
+      void await_resume() const noexcept {
+        if (auto* hook = audit_hook()) {
+          hook->resume_strand(audit_token);
+          hook->acquire(join_obj);
+        }
+      }
     };
-    co_await Suspend{waiter};
+    co_await Suspend{waiter, &remaining};
   }
 }
 

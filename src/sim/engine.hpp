@@ -14,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "sim/audit_hook.hpp"
 #include "sim/task.hpp"
 
 namespace dcs::sim {
@@ -55,11 +56,15 @@ class Engine {
     struct Awaiter {
       Engine& eng;
       Time dur;
+      std::uint64_t audit_token = 0;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
         eng.schedule(h, eng.now_ + dur);
+        if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
       }
-      void await_resume() const noexcept {}
+      void await_resume() const noexcept {
+        if (auto* hook = audit_hook()) hook->resume_strand(audit_token);
+      }
     };
     return Awaiter{*this, d};
   }

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/audit_hook.hpp"
 #include "sim/engine.hpp"
 
 namespace dcs::sim {
@@ -27,6 +28,7 @@ class Event {
 
   /// Wakes all current waiters and latches the set state.
   void set() {
+    if (auto* hook = audit_hook()) hook->release(this);
     set_ = true;
     for (auto h : waiters_) eng_.schedule_now(h);
     waiters_.clear();
@@ -38,11 +40,18 @@ class Event {
   auto wait() {
     struct Awaiter {
       Event& ev;
+      std::uint64_t audit_token = 0;
       bool await_ready() const noexcept { return ev.set_; }
       void await_suspend(std::coroutine_handle<> h) {
         ev.waiters_.push_back(h);
+        if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
       }
-      void await_resume() const noexcept {}
+      void await_resume() const noexcept {
+        if (auto* hook = audit_hook()) {
+          hook->resume_strand(audit_token);
+          hook->acquire(&ev);
+        }
+      }
     };
     return Awaiter{*this};
   }
@@ -66,6 +75,7 @@ class Semaphore {
   auto acquire() {
     struct Awaiter {
       Semaphore& sem;
+      std::uint64_t audit_token = 0;
       bool await_ready() const noexcept {
         if (sem.count_ > 0) {
           --sem.count_;
@@ -75,13 +85,20 @@ class Semaphore {
       }
       void await_suspend(std::coroutine_handle<> h) {
         sem.waiters_.push_back(h);
+        if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
       }
-      void await_resume() const noexcept {}
+      void await_resume() const noexcept {
+        if (auto* hook = audit_hook()) {
+          hook->resume_strand(audit_token);
+          hook->acquire(&sem);
+        }
+      }
     };
     return Awaiter{*this};
   }
 
   void release() {
+    if (auto* hook = audit_hook()) hook->release(this);
     if (!waiters_.empty()) {
       // Hand the permit directly to the first waiter.
       auto h = waiters_.front();
@@ -155,6 +172,7 @@ class Channel {
   /// Non-suspending push (only valid for unbounded channels).
   void push(T item) {
     DCS_CHECK_MSG(capacity_ == 0, "push() on bounded channel; use send()");
+    if (auto* hook = audit_hook()) hook->release(this);
     items_.push_back(std::move(item));
     wake_one_receiver();
   }
@@ -164,6 +182,7 @@ class Channel {
     while (capacity_ != 0 && items_.size() >= capacity_) {
       co_await suspend_on(send_waiters_);
     }
+    if (auto* hook = audit_hook()) hook->release(this);
     items_.push_back(std::move(item));
     wake_one_receiver();
   }
@@ -173,6 +192,7 @@ class Channel {
     while (items_.empty()) {
       co_await suspend_on(recv_waiters_);
     }
+    if (auto* hook = audit_hook()) hook->acquire(this);
     T item = std::move(items_.front());
     items_.pop_front();
     if (!send_waiters_.empty()) {
@@ -185,6 +205,7 @@ class Channel {
   /// Non-suspending receive attempt.
   std::optional<T> try_recv() {
     if (items_.empty()) return std::nullopt;
+    if (auto* hook = audit_hook()) hook->acquire(this);
     T item = std::move(items_.front());
     items_.pop_front();
     if (!send_waiters_.empty()) {
@@ -197,9 +218,15 @@ class Channel {
  private:
   struct ListAwaiter {
     std::deque<std::coroutine_handle<>>& list;
+    std::uint64_t audit_token = 0;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { list.push_back(h); }
-    void await_resume() const noexcept {}
+    void await_suspend(std::coroutine_handle<> h) {
+      list.push_back(h);
+      if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
+    }
+    void await_resume() const noexcept {
+      if (auto* hook = audit_hook()) hook->resume_strand(audit_token);
+    }
   };
   ListAwaiter suspend_on(std::deque<std::coroutine_handle<>>& list) {
     return ListAwaiter{list};

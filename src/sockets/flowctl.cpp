@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/audit.hpp"
 #include "trace/trace.hpp"
 
 namespace dcs::sockets {
@@ -52,6 +53,10 @@ sim::Task<void> FlowStreamBase::receiver_loop() {
     // Copy payload out of the staging buffer, then return the credit.
     co_await fab.node(dst_).execute(p.copy_time(buf.payload_bytes));
     co_await fab.wire_transfer(dst_, src_, fabric::FabricParams::kControlBytes);
+    if (auto* a = audit::Auditor::current()) {
+      a->credit_change(&credits_, "flowctl.credits", +1,
+                       static_cast<std::int64_t>(config_.num_buffers));
+    }
     credits_.release();
   }
 }
@@ -68,6 +73,10 @@ sim::Task<void> CreditStream::send(std::size_t bytes) {
     co_await credits_.acquire();
   } else {
     co_await credits_.acquire();
+  }
+  if (auto* a = audit::Auditor::current()) {
+    a->credit_change(&credits_, "flowctl.credits", -1,
+                     static_cast<std::int64_t>(config_.num_buffers));
   }
   flow_metrics().sends.add();
   flow_metrics().bytes.add(bytes);
@@ -112,6 +121,10 @@ sim::Task<void> PacketizedStream::ship(std::size_t filled) {
     co_await credits_.acquire();
   } else {
     co_await credits_.acquire();
+  }
+  if (auto* a = audit::Auditor::current()) {
+    a->credit_change(&credits_, "flowctl.credits", -1,
+                     static_cast<std::int64_t>(config_.num_buffers));
   }
   ++stats_.buffers_consumed;
   co_await net_.hca(src_).raw_write(dst_, filled);

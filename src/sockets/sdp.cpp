@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "audit/audit.hpp"
 #include "trace/trace.hpp"
 
 namespace dcs::sockets {
@@ -99,6 +100,10 @@ sim::Task<void> SdpStream::send_buffered(std::vector<std::byte> payload) {
     } else {
       co_await credits_.acquire();
     }
+    if (auto* a = audit::Auditor::current()) {
+      a->credit_change(&credits_, "sdp.credits", -1,
+                       static_cast<std::int64_t>(config_.num_credits));
+    }
     // Copy user data into the pre-registered staging buffer.
     co_await fab.node(src_).execute(p.copy_time(this_chunk));
     // Push the wire work into the background so successive copies pipeline
@@ -120,6 +125,10 @@ sim::Task<void> SdpStream::return_credit_after_wire() {
   // Credit-return control message rides back over the fabric.
   co_await net_.fabric().wire_transfer(dst_, src_,
                                        fabric::FabricParams::kControlBytes);
+  if (auto* a = audit::Auditor::current()) {
+    a->credit_change(&credits_, "sdp.credits", +1,
+                     static_cast<std::int64_t>(config_.num_credits));
+  }
   credits_.release();
 }
 
@@ -159,6 +168,10 @@ sim::Task<void> SdpStream::send_async_zero_copy(std::vector<std::byte> payload) 
   } else {
     co_await window_.acquire();
   }
+  if (auto* a = audit::Auditor::current()) {
+    a->credit_change(&window_, "sdp.az_window", -1,
+                     static_cast<std::int64_t>(config_.max_outstanding));
+  }
   // Memory-protect the user buffer and return control immediately.  (The
   // paper's design keeps a registration cache, so steady-state sends pay
   // mprotect, not registration.)
@@ -176,6 +189,10 @@ sim::Task<void> SdpStream::az_transfer(std::vector<std::byte> payload) {
   co_await done.wait();
   // Transfer finished: unprotect the buffer.
   co_await fab.node(src_).execute(p.mprotect_cost);
+  if (auto* a = audit::Auditor::current()) {
+    a->credit_change(&window_, "sdp.az_window", +1,
+                     static_cast<std::int64_t>(config_.max_outstanding));
+  }
   window_.release();
   if (--az_in_flight_ == 0) az_drained_.set();
 }

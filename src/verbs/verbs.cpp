@@ -56,6 +56,9 @@ RemoteRegion Hca::register_region(MemAddr addr, std::size_t len) {
                 "registering unmapped memory");
   const std::uint32_t rkey = next_rkey_++;
   regions_.emplace(rkey, Registration{addr, len});
+  if (auto* a = audit::Auditor::current()) {
+    a->on_register(node_, rkey, addr, len);
+  }
   return RemoteRegion{node_, addr, len, rkey};
 }
 
@@ -66,6 +69,9 @@ RemoteRegion Hca::allocate_region(std::size_t len) {
 }
 
 void Hca::deregister(std::uint32_t rkey) {
+  if (auto* a = audit::Auditor::current()) {
+    a->on_deregister(node_, rkey);
+  }
   const auto erased = regions_.erase(rkey);
   DCS_CHECK_MSG(erased == 1, "deregister of unknown rkey");
 }
@@ -77,14 +83,24 @@ void Hca::free_region(const RemoteRegion& region) {
 }
 
 std::span<std::byte> Hca::resolve(std::uint32_t rkey, std::size_t offset,
-                                  std::size_t len) {
+                                  std::size_t len, audit::AccessKind kind,
+                                  const char* site) {
   const auto it = regions_.find(rkey);
   if (it == regions_.end()) {
+    // Let the auditor distinguish a never-issued rkey from one that was
+    // valid and has since been deregistered (use-after-deregister).
+    if (auto* a = audit::Auditor::current();
+        a != nullptr && a->on_unknown_rkey(node_, rkey, site)) {
+      throw RemoteAccessError("remote access error: deregistered rkey");
+    }
     throw RemoteAccessError("remote access error: unknown rkey");
   }
   const auto& reg = it->second;
   if (offset + len > reg.len || offset + len < offset) {
     throw RemoteAccessError("remote access error: out of registered bounds");
+  }
+  if (auto* a = audit::Auditor::current()) {
+    a->on_access(node_, reg.addr + offset, len, kind, site);
   }
   return host().memory().bytes(reg.addr + offset, len);
 }
@@ -118,7 +134,9 @@ sim::Task<void> Hca::read(RemoteRegion target, std::size_t offset,
   co_await eng.delay(p.rdma_target_nic);
   // Target HCA DMA-reads registered memory *now* — this is the observation
   // instant; no target CPU is involved.
-  auto src = net_.hca(target.node).resolve(target.rkey, offset, dst.size());
+  auto src = net_.hca(target.node)
+                 .resolve(target.rkey, offset, dst.size(),
+                          audit::AccessKind::kRead, "verbs.read");
   std::vector<std::byte> in_flight(src.begin(), src.end());
   // Response carries the payload back.
   co_await fab_.wire_transfer(target.node, node_, dst.size() + kHeaderBytes);
@@ -141,8 +159,9 @@ sim::Task<void> Hca::write(RemoteRegion target, std::size_t offset,
   co_await fab_.wire_transfer(node_, target.node,
                               in_flight.size() + kHeaderBytes);
   co_await eng.delay(p.rdma_target_nic);
-  auto dst = net_.hca(target.node).resolve(target.rkey, offset,
-                                           in_flight.size());
+  auto dst = net_.hca(target.node)
+                 .resolve(target.rkey, offset, in_flight.size(),
+                          audit::AccessKind::kWrite, "verbs.write");
   std::copy(in_flight.begin(), in_flight.end(), dst.begin());
   // RC ack back to the initiator completes the work request.
   co_await fab_.wire_transfer(target.node, node_,
@@ -160,6 +179,9 @@ sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
+  if (auto* a = audit::Auditor::current()) {
+    a->on_atomic_shape(target.node, offset, 8, "verbs.cas");
+  }
   if (offset % 8 != 0) {
     throw RemoteAccessError("atomic requires 8-byte alignment");
   }
@@ -169,7 +191,9 @@ sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
   co_await eng.delay(p.atomic_execute);
   // The atomic executes instantaneously in virtual time at the target HCA;
   // single-threaded event dispatch guarantees atomicity.
-  auto bytes = net_.hca(target.node).resolve(target.rkey, offset, 8);
+  auto bytes = net_.hca(target.node)
+                   .resolve(target.rkey, offset, 8,
+                            audit::AccessKind::kAtomic, "verbs.cas");
   std::uint64_t old = 0;
   std::memcpy(&old, bytes.data(), 8);
   if (old == compare) {
@@ -190,6 +214,9 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
+  if (auto* a = audit::Auditor::current()) {
+    a->on_atomic_shape(target.node, offset, 8, "verbs.faa");
+  }
   if (offset % 8 != 0) {
     throw RemoteAccessError("atomic requires 8-byte alignment");
   }
@@ -197,7 +224,9 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
   co_await fab_.wire_transfer(node_, target.node,
                               fabric::FabricParams::kControlBytes);
   co_await eng.delay(p.atomic_execute);
-  auto bytes = net_.hca(target.node).resolve(target.rkey, offset, 8);
+  auto bytes = net_.hca(target.node)
+                   .resolve(target.rkey, offset, 8,
+                            audit::AccessKind::kAtomic, "verbs.faa");
   std::uint64_t old = 0;
   std::memcpy(&old, bytes.data(), 8);
   const std::uint64_t updated = old + add;

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "fabric/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -143,8 +144,10 @@ class Hca {
   /// Throws RemoteTimeoutError after the retry window if `target` is down.
   sim::Task<void> check_alive(NodeId target);
   /// Target-side validation + execution helpers (run at the target HCA).
+  /// `kind`/`site` describe the access to the installed auditor, if any.
   std::span<std::byte> resolve(std::uint32_t rkey, std::size_t offset,
-                               std::size_t len);
+                               std::size_t len, audit::AccessKind kind,
+                               const char* site);
   void deliver(Message msg);
   sim::Channel<Message>& queue_for(std::uint32_t tag);
 

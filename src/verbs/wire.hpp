@@ -1,12 +1,15 @@
 // Tiny serialization helpers for protocol messages.
 //
-// Services encode request/response payloads with Encoder/Decoder; both are
-// bounds-checked so malformed messages fail loudly in tests.
+// Services encode request/response payloads with Encoder/Decoder.  Decoding
+// is bounds-checked: a truncated or corrupt frame raises WireError at the
+// faulting field instead of reading past the payload, so a malformed message
+// from a peer can be caught and handled rather than aborting the process.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,6 +17,13 @@
 #include "common/check.hpp"
 
 namespace dcs::verbs {
+
+/// Raised when a frame is too short for the field being decoded (truncated
+/// or corrupt message).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Encoder {
  public:
@@ -50,14 +60,14 @@ class Decoder {
   std::uint64_t u64() { return get<std::uint64_t>(); }
   std::string str() {
     const auto n = u32();
-    DCS_CHECK_MSG(pos_ + n <= data_.size(), "decode past end");
+    require(n, "string body");
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return s;
   }
   std::vector<std::byte> bytes() {
     const auto n = u32();
-    DCS_CHECK_MSG(pos_ + n <= data_.size(), "decode past end");
+    require(n, "byte-array body");
     std::vector<std::byte> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
                              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
@@ -68,9 +78,19 @@ class Decoder {
   std::size_t remaining() const { return data_.size() - pos_; }
 
  private:
+  /// Throws WireError unless `n` more bytes are available.  Written as a
+  /// subtraction so a hostile length field cannot wrap the comparison.
+  void require(std::size_t n, const char* what) const {
+    if (n > data_.size() - pos_) {
+      throw WireError(std::string("wire decode past end: ") + what +
+                      " needs " + std::to_string(n) + " bytes, " +
+                      std::to_string(data_.size() - pos_) + " remain");
+    }
+  }
+
   template <typename T>
   T get() {
-    DCS_CHECK_MSG(pos_ + sizeof(T) <= data_.size(), "decode past end");
+    require(sizeof(T), "fixed-width field");
     T v;
     std::memcpy(&v, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);

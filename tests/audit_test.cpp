@@ -1,0 +1,314 @@
+// Tests for the RDMA access auditor: seeded races, lifecycle violations,
+// and protocol-invariant breaches must be detected deterministically, while
+// correctly-synchronized workloads across every layer must run clean.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "ddss/ddss.hpp"
+#include "dlm/ncosed.hpp"
+#include "sockets/sdp.hpp"
+#include "verbs/verbs.hpp"
+
+namespace dcs::audit {
+namespace {
+
+using fabric::NodeId;
+
+std::vector<std::byte> value_bytes(std::uint8_t fill, std::size_t n = 32) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(fill));
+}
+
+struct AuditFixture : ::testing::Test {
+  sim::Engine eng;
+  fabric::Fabric fab{eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .cores_per_node = 2,
+                      .mem_per_node = 1u << 20}};
+  verbs::Network net{fab};
+};
+
+// --- seeded negative tests: each bug class must be caught ---
+
+TEST_F(AuditFixture, DetectsRdmaWriteRacingHostRead) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto region = net.hca(1).allocate_region(64);
+
+  // Writer and reader are independent strands with no synchronization edge
+  // between them: a one-sided write lands in the same bytes a host-side
+  // reader touches.  This is exactly the silent-corruption bug class.
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion r) -> sim::Task<void> {
+    Auditor::current()->name_strand("writer");
+    co_await n.hca(0).write(r, 0, value_bytes(0xAB));
+  }(net, region));
+  eng.spawn([](sim::Engine& e, verbs::RemoteRegion r) -> sim::Task<void> {
+    Auditor::current()->name_strand("reader");
+    co_await e.delay(microseconds(2));
+    host_read(1, r.addr, 16, "test.reader");
+  }(eng, region));
+
+  EXPECT_THROW(eng.run(), AuditError);
+  ASSERT_EQ(auditor.report_count(), 1u);
+  const Report& rep = auditor.reports()[0];
+  EXPECT_EQ(rep.checker, "race");
+  EXPECT_NE(rep.message.find("writer"), std::string::npos);
+  EXPECT_NE(rep.message.find("reader"), std::string::npos);
+}
+
+TEST_F(AuditFixture, CompletionEdgeSuppressesTheSameRace) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto region = net.hca(1).allocate_region(64);
+  sim::Event written(eng);
+
+  // The identical access pattern, but the reader waits for the writer's
+  // completion event — the happens-before edge makes it correct.
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion r,
+               sim::Event& done) -> sim::Task<void> {
+    co_await n.hca(0).write(r, 0, value_bytes(0xAB));
+    done.set();
+  }(net, region, written));
+  eng.spawn([](sim::Event& done, verbs::RemoteRegion r) -> sim::Task<void> {
+    co_await done.wait();
+    host_read(1, r.addr, 16, "test.reader");
+  }(written, region));
+
+  eng.run();
+  EXPECT_EQ(auditor.report_count(), 0u);
+  EXPECT_GT(auditor.accesses_checked(), 0u);
+}
+
+TEST(AuditDeterminism, RaceReportIsDeterministicAcrossRuns) {
+  // Same seed, same scenario, count mode: byte-identical report both times.
+  auto run_once = [](std::string& message, SimNanos& at) {
+    sim::Engine eng;
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 4, .mem_per_node = 1u << 20});
+    verbs::Network net(fab);
+    Auditor auditor(eng, {.on_violation = OnViolation::kCount});
+    auditor.install();
+    auto region = net.hca(1).allocate_region(64);
+    eng.spawn([](verbs::Network& n, verbs::RemoteRegion r) -> sim::Task<void> {
+      co_await n.hca(0).write(r, 0, value_bytes(0xAB));
+    }(net, region));
+    eng.spawn([](sim::Engine& e, verbs::RemoteRegion r) -> sim::Task<void> {
+      co_await e.delay(microseconds(2));
+      host_read(1, r.addr, 16, "test.reader");
+    }(eng, region));
+    eng.run();
+    ASSERT_EQ(auditor.report_count(), 1u);
+    message = auditor.reports()[0].message;
+    at = auditor.reports()[0].time;
+  };
+  std::string first_msg, second_msg;
+  SimNanos first_at = 0, second_at = 0;
+  run_once(first_msg, first_at);
+  run_once(second_msg, second_at);
+  EXPECT_EQ(first_msg, second_msg);
+  EXPECT_EQ(first_at, second_at);
+}
+
+TEST_F(AuditFixture, DetectsUseAfterDeregister) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto region = net.hca(1).allocate_region(64);
+  net.hca(1).deregister(region.rkey);
+
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion stale)
+                -> sim::Task<void> {
+    co_await n.hca(0).write(stale, 0, value_bytes(0x01));
+  }(net, region));
+
+  EXPECT_THROW(eng.run(), AuditError);
+  ASSERT_EQ(auditor.report_count(), 1u);
+  EXPECT_EQ(auditor.reports()[0].checker, "use-after-deregister");
+}
+
+TEST_F(AuditFixture, NeverIssuedRkeyIsAPlainRemoteAccessError) {
+  Auditor auditor(eng);
+  auditor.install();
+  bool plain_error = false;
+  eng.spawn([](verbs::Network& n, bool& caught) -> sim::Task<void> {
+    verbs::RemoteRegion bogus{1, 128, 64, 0xBEEF};
+    try {
+      co_await n.hca(0).write(bogus, 0, value_bytes(0x01));
+    } catch (const verbs::RemoteAccessError&) {
+      caught = true;
+    }
+  }(net, plain_error));
+  eng.run();
+  EXPECT_TRUE(plain_error);
+  EXPECT_EQ(auditor.report_count(), 0u);
+}
+
+TEST_F(AuditFixture, DetectsMisalignedAtomic) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto region = net.hca(1).allocate_region(64);
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion r) -> sim::Task<void> {
+    (void)co_await n.hca(0).fetch_and_add(r, 4, 1);  // offset 4: misaligned
+  }(net, region));
+  EXPECT_THROW(eng.run(), AuditError);
+  ASSERT_EQ(auditor.report_count(), 1u);
+  EXPECT_EQ(auditor.reports()[0].checker, "atomic-shape");
+}
+
+TEST_F(AuditFixture, DetectsRkeyReuse) {
+  Auditor auditor(eng, {.on_violation = OnViolation::kCount});
+  auditor.install();
+  auditor.on_register(2, 77, 0, 64);
+  auditor.on_register(2, 77, 4096, 64);  // same rkey issued twice
+  ASSERT_EQ(auditor.report_count(), 1u);
+  EXPECT_EQ(auditor.reports()[0].checker, "rkey-reuse");
+}
+
+TEST_F(AuditFixture, DetectsCreditUnderflowAndOverflow) {
+  Auditor auditor(eng, {.on_violation = OnViolation::kCount});
+  auditor.install();
+  int stream_a = 0, stream_b = 0;
+
+  // Pool of 2: three consumes with no return is an underflow.
+  auditor.credit_change(&stream_a, "test.credits", -1, 2);
+  auditor.credit_change(&stream_a, "test.credits", -1, 2);
+  EXPECT_EQ(auditor.report_count(), 0u);
+  auditor.credit_change(&stream_a, "test.credits", -1, 2);
+  ASSERT_EQ(auditor.report_count(), 1u);
+  EXPECT_EQ(auditor.reports()[0].checker, "credit-underflow");
+
+  // Returning a credit that was never consumed exceeds the pool.
+  auditor.credit_change(&stream_b, "test.window", +1, 4);
+  ASSERT_EQ(auditor.report_count(), 2u);
+  EXPECT_EQ(auditor.reports()[1].checker, "credit-overflow");
+}
+
+TEST_F(AuditFixture, DetectsLockInvariantBreaches) {
+  Auditor auditor(eng, {.on_violation = OnViolation::kCount});
+  auditor.install();
+  int mgr = 0;
+
+  auditor.lock_granted(&mgr, "test", 1, 0, /*exclusive=*/true);
+  auditor.lock_granted(&mgr, "test", 1, 1, /*exclusive=*/true);
+  ASSERT_EQ(auditor.report_count(), 1u);
+  EXPECT_EQ(auditor.reports()[0].checker, "lock-exclusive-while-held");
+
+  auditor.lock_granted(&mgr, "test", 1, 2, /*exclusive=*/false);
+  ASSERT_EQ(auditor.report_count(), 2u);
+  EXPECT_EQ(auditor.reports()[1].checker, "lock-shared-under-exclusive");
+
+  auditor.lock_released(&mgr, "test", 2, 3);
+  ASSERT_EQ(auditor.report_count(), 3u);
+  EXPECT_EQ(auditor.reports()[2].checker, "lock-release-without-hold");
+
+  // Handing a held lock back to a current holder closes a cascade cycle.
+  auditor.lock_handoff(&mgr, "test", 1, 0, 1);
+  ASSERT_EQ(auditor.report_count(), 4u);
+  EXPECT_EQ(auditor.reports()[3].checker, "lock-cascade-cycle");
+}
+
+TEST_F(AuditFixture, ThrowModeRaisesAtTheFaultingCall) {
+  Auditor auditor(eng);
+  auditor.install();
+  int stream = 0;
+  auditor.credit_change(&stream, "test.credits", -1, 1);
+  EXPECT_THROW(auditor.credit_change(&stream, "test.credits", -1, 1),
+               AuditError);
+}
+
+TEST_F(AuditFixture, HostAccessAfterRunDoesNotRace) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto region = net.hca(1).allocate_region(64);
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion r) -> sim::Task<void> {
+    co_await n.hca(0).write(r, 0, value_bytes(0xCD));
+  }(net, region));
+  eng.run();
+  // Everything dispatched inside run() happens-before the caller here.
+  host_read(1, region.addr, 64, "test.after-run");
+  EXPECT_EQ(auditor.report_count(), 0u);
+}
+
+// --- clean-run tests: real workloads on existing layers report nothing ---
+
+TEST_F(AuditFixture, CleanRunDdssAllCoherenceModels) {
+  Auditor auditor(eng);
+  auditor.install();
+  ddss::Ddss ddss(net);
+  ddss.start();
+
+  const ddss::Coherence models[] = {
+      ddss::Coherence::kNull,   ddss::Coherence::kRead,
+      ddss::Coherence::kVersion, ddss::Coherence::kWrite,
+      ddss::Coherence::kStrict, ddss::Coherence::kDelta,
+      ddss::Coherence::kTemporal};
+  for (const auto model : models) {
+    eng.spawn([](ddss::Ddss& d, ddss::Coherence c) -> sim::Task<void> {
+      auto writer = d.client(1);
+      auto reader = d.client(2);
+      auto a = co_await writer.allocate(32, c, ddss::Placement::kLocal);
+      std::vector<std::byte> out(32);
+      for (int i = 0; i < 3; ++i) {
+        co_await writer.put(a, value_bytes(static_cast<std::uint8_t>(i)));
+        co_await reader.get(a, out);
+      }
+      co_await writer.release(a);
+    }(ddss, model));
+  }
+  eng.run();
+  EXPECT_EQ(auditor.report_count(), 0u) << auditor.reports()[0].message;
+  EXPECT_GT(auditor.accesses_checked(), 0u);
+}
+
+TEST_F(AuditFixture, CleanRunNcosedContention) {
+  Auditor auditor(eng);
+  auditor.install();
+  dlm::NcosedLockManager mgr(net, 0);
+
+  for (NodeId node = 0; node < 4; ++node) {
+    eng.spawn([](dlm::LockManager& m, sim::Engine& e,
+                 NodeId self) -> sim::Task<void> {
+      for (int i = 0; i < 3; ++i) {
+        const auto mode = (self % 2 == 0) ? dlm::LockMode::kExclusive
+                                          : dlm::LockMode::kShared;
+        co_await m.lock(self, 0, mode);
+        co_await e.delay(microseconds(3));
+        co_await m.unlock(self, 0);
+      }
+    }(mgr, eng, node));
+  }
+  eng.run();
+  EXPECT_EQ(auditor.report_count(), 0u) << auditor.reports()[0].message;
+}
+
+TEST_F(AuditFixture, CleanRunSdpCreditedStream) {
+  Auditor auditor(eng);
+  auditor.install();
+  sockets::SdpStream stream(net, 0, 1, sockets::SdpMode::kBufferedCopy);
+
+  eng.spawn([](sockets::SdpStream& s) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      co_await s.send(std::vector<std::byte>(20000, std::byte{0x42}));
+    }
+  }(stream));
+  eng.spawn([](sockets::SdpStream& s) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) (void)co_await s.recv();
+  }(stream));
+  eng.run();
+  EXPECT_EQ(auditor.report_count(), 0u) << auditor.reports()[0].message;
+}
+
+TEST_F(AuditFixture, UninstalledAuditorCostsNothingAndSeesNothing) {
+  Auditor auditor(eng);  // never installed
+  EXPECT_EQ(Auditor::current(), nullptr);
+  auto region = net.hca(1).allocate_region(64);
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion r) -> sim::Task<void> {
+    co_await n.hca(0).write(r, 0, value_bytes(0xEE));
+  }(net, region));
+  eng.run();
+  EXPECT_EQ(auditor.accesses_checked(), 0u);
+}
+
+}  // namespace
+}  // namespace dcs::audit

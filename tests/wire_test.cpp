@@ -1,0 +1,95 @@
+// Malformed-frame handling: truncated or corrupt payloads must raise
+// WireError at the faulting field instead of reading past the buffer.
+#include "verbs/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace dcs::verbs {
+namespace {
+
+std::vector<std::byte> truncate(std::vector<std::byte> frame, std::size_t n) {
+  frame.resize(n);
+  return frame;
+}
+
+TEST(WireTest, RoundTripsAllFieldTypes) {
+  auto frame = Encoder()
+                   .u8(7)
+                   .u32(0xDEADBEEF)
+                   .u64(0x0123456789ABCDEFull)
+                   .str("hello")
+                   .bytes(std::vector<std::byte>{std::byte{1}, std::byte{2}})
+                   .take();
+  Decoder dec(frame);
+  EXPECT_EQ(dec.u8(), 7);
+  EXPECT_EQ(dec.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.str(), "hello");
+  EXPECT_EQ(dec.bytes().size(), 2u);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(WireTest, EmptyFrameThrowsOnAnyRead) {
+  Decoder dec(std::span<const std::byte>{});
+  EXPECT_THROW((void)dec.u8(), WireError);
+}
+
+TEST(WireTest, TruncatedFixedWidthFieldThrows) {
+  auto frame = Encoder().u64(42).take();
+  for (std::size_t n = 0; n < 8; ++n) {
+    auto cut = truncate(frame, n);
+    Decoder dec(cut);
+    EXPECT_THROW((void)dec.u64(), WireError) << "at length " << n;
+  }
+}
+
+TEST(WireTest, TruncatedStringBodyThrows) {
+  // Length prefix says 5 bytes but only part of the body survives.
+  auto frame = Encoder().str("hello").take();
+  auto cut = truncate(frame, frame.size() - 2);
+  Decoder dec(cut);
+  EXPECT_THROW((void)dec.str(), WireError);
+}
+
+TEST(WireTest, CorruptLengthPrefixThrows) {
+  // A hostile length field far beyond the frame must not wrap the bounds
+  // check or allocate past the payload.
+  auto frame = Encoder().u32(0xFFFFFFFFu).take();
+  Decoder dec(frame);
+  EXPECT_THROW((void)dec.bytes(), WireError);
+}
+
+TEST(WireTest, CorruptStringLengthThrows) {
+  auto frame = Encoder().u32(1u << 30).u8(0).take();
+  Decoder dec(frame);
+  EXPECT_THROW((void)dec.str(), WireError);
+}
+
+TEST(WireTest, ErrorMessageNamesTheFaultingField) {
+  auto frame = Encoder().u8(1).take();
+  Decoder dec(frame);
+  EXPECT_EQ(dec.u8(), 1);
+  try {
+    (void)dec.u32();
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("decode past end"),
+              std::string::npos);
+  }
+}
+
+TEST(WireTest, DecoderStateUnchangedAfterFailedRead) {
+  // A failed decode must not consume bytes: the caller can still inspect
+  // what remains.
+  auto frame = Encoder().u32(123).take();
+  Decoder dec(frame);
+  EXPECT_THROW((void)dec.u64(), WireError);
+  EXPECT_EQ(dec.remaining(), 4u);
+  EXPECT_EQ(dec.u32(), 123u);
+}
+
+}  // namespace
+}  // namespace dcs::verbs

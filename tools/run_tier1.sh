@@ -4,12 +4,34 @@
 # nothing but CMake and a C++20 toolchain (GTest/benchmark are fetched or
 # found by the top-level CMakeLists).
 #
-# Usage: tools/run_tier1.sh [build-dir]   (default: build)
+# Usage: tools/run_tier1.sh [--san asan|tsan] [build-dir]
+#   --san asan   build + test under AddressSanitizer/UBSan (CMake preset)
+#   --san tsan   build + test under ThreadSanitizer (CMake preset)
+# With no --san flag, the plain RelWithDebInfo build dir (default: build)
+# is used exactly as before.
 set -eu
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+SAN=""
+if [ "${1:-}" = "--san" ]; then
+  SAN="${2:?usage: run_tier1.sh --san asan|tsan}"
+  shift 2
+  case "$SAN" in
+    asan|tsan) ;;
+    *) echo "unknown sanitizer preset: $SAN (want asan or tsan)" >&2; exit 2 ;;
+  esac
+fi
+
+if [ -n "$SAN" ]; then
+  cmake --preset "$SAN"
+  cmake --build --preset "$SAN" -j "$JOBS"
+  ctest --preset "$SAN" -j "$JOBS"
+else
+  BUILD_DIR="${1:-build}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+fi
