@@ -8,6 +8,7 @@
 
 #include "common/table.hpp"
 #include "ddss/ddss.hpp"
+#include "harness.hpp"
 #include "trace/observe.hpp"
 
 namespace {
@@ -108,9 +109,51 @@ int run_observed(const trace::ObserveOptions& opts) {
   return 0;
 }
 
+// Harnessed scenarios (docs/BENCHMARKS.md): 4 KB puts under every
+// coherence model, each put a trace::Request so the verbs decomposition
+// (lock, version bump, data write) is attributed per model.
+int run_harness(const bench::HarnessOptions& opts) {
+  bench::Harness h("ddss_latency", opts);
+  for (const auto model : kModels) {
+    h.run(std::string("put/") + ddss::to_string(model),
+          [model](bench::Scenario& s) {
+            auto& eng = s.engine();
+            fabric::Fabric fab(eng, fabric::FabricParams{},
+                               {.num_nodes = 2, .mem_per_node = 4u << 20});
+            verbs::Network net(fab);
+            ddss::Ddss substrate(net);
+            substrate.start();
+            eng.spawn([](sim::Engine& e, ddss::Ddss& d, ddss::Coherence m,
+                         bench::Scenario& out) -> sim::Task<void> {
+              auto client = d.client(0);
+              constexpr std::size_t kBytes = 4096;
+              auto alloc = co_await client.allocate(
+                  kBytes, m, ddss::Placement::kRemote);
+              std::vector<std::byte> value(kBytes, std::byte{0x5A});
+              co_await client.put(alloc, value);  // warm-up
+              constexpr int kIters = 20;
+              for (int i = 0; i < kIters; ++i) {
+                const auto t0 = e.now();
+                {
+                  trace::Request req("ddss.put", 0,
+                                     static_cast<std::uint64_t>(i));
+                  co_await client.put(alloc, value);
+                }
+                out.latency_ns(static_cast<double>(e.now() - t0));
+              }
+            }(eng, substrate, model, s));
+            eng.run();
+            s.metric("put_bytes", 4096);
+          });
+  }
+  return h.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto harness = bench::extract_harness_flags(argc, argv);
+  if (harness.enabled()) return run_harness(harness);
   const auto observe = trace::extract_observe_flags(argc, argv);
   if (observe.enabled()) return run_observed(observe);
   print_fig3a();

@@ -17,6 +17,7 @@
 #include "dlm/dqnl.hpp"
 #include "dlm/ncosed.hpp"
 #include "dlm/srsl.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -34,13 +35,20 @@ const char* name_of(Scheme s) {
 }
 
 struct World {
-  sim::Engine eng;
+  std::unique_ptr<sim::Engine> owned;  // empty when borrowing an engine
+  sim::Engine& eng;
   fabric::Fabric fab;
   verbs::Network net;
   std::unique_ptr<dlm::LockManager> mgr;
 
-  explicit World(Scheme scheme)
-      : fab(eng, fabric::FabricParams{},
+  explicit World(Scheme scheme) : World(nullptr, scheme) {}
+  World(sim::Engine& external, Scheme scheme) : World(&external, scheme) {}
+
+ private:
+  World(sim::Engine* external, Scheme scheme)
+      : owned(external != nullptr ? nullptr : std::make_unique<sim::Engine>()),
+        eng(external != nullptr ? *external : *owned),
+        fab(eng, fabric::FabricParams{},
             {.num_nodes = 20, .cores_per_node = 2}),
         net(fab) {
     switch (scheme) {
@@ -61,8 +69,7 @@ struct World {
 };
 
 /// Latency (µs) from the holder's release to the LAST pending waiter grant.
-double cascade_latency_us(Scheme scheme, LockMode mode, int waiters) {
-  World w(scheme);
+double cascade_latency_on(World& w, LockMode mode, int waiters) {
   SimNanos release_at = 0, last_grant = 0;
   int granted = 0;
   w.eng.spawn([](World& world, SimNanos& rel) -> sim::Task<void> {
@@ -75,7 +82,10 @@ double cascade_latency_us(Scheme scheme, LockMode mode, int waiters) {
     w.eng.spawn([](World& world, fabric::NodeId self, LockMode m, int& g,
                    SimNanos& last) -> sim::Task<void> {
       co_await world.eng.delay(microseconds(100 + 10 * self));
-      co_await world.mgr->lock(self, 0, m);
+      {
+        trace::Request req("dlm.acquire", self, self);
+        co_await world.mgr->lock(self, 0, m);
+      }
       ++g;
       last = std::max(last, world.eng.now());
       co_await world.mgr->unlock(self, 0);
@@ -84,6 +94,11 @@ double cascade_latency_us(Scheme scheme, LockMode mode, int waiters) {
   w.eng.run();
   DCS_CHECK(granted == waiters);
   return to_micros(last_grant - release_at);
+}
+
+double cascade_latency_us(Scheme scheme, LockMode mode, int waiters) {
+  World w(scheme);
+  return cascade_latency_on(w, mode, waiters);
 }
 
 const std::vector<int> kWaiters = {1, 2, 4, 8, 16};
@@ -212,9 +227,47 @@ BENCHMARK(BM_Cascade)
     ->Iterations(1)
     ->Unit(benchmark::kMicrosecond);
 
+// Harnessed scenarios (docs/BENCHMARKS.md): per scheme, the Figure 5
+// shared-cascade latency at 8 waiters plus uncontended lock+unlock
+// round trips (each acquisition a trace::Request, so lock-wait shows up
+// in the attribution).
+int run_harness(const bench::HarnessOptions& opts) {
+  bench::Harness h("dlm_cascade", opts);
+  for (const Scheme scheme :
+       {Scheme::kSrsl, Scheme::kDqnl, Scheme::kNcosed}) {
+    h.run(std::string("cascade/shared/8/") + name_of(scheme),
+          [scheme](bench::Scenario& s) {
+            World w(s.engine(), scheme);
+            s.metric("cascade_us", cascade_latency_on(w, LockMode::kShared, 8));
+          });
+    h.run(std::string("uncontended/") + name_of(scheme),
+          [scheme](bench::Scenario& s) {
+            World w(s.engine(), scheme);
+            w.eng.spawn([](World& world, bench::Scenario& out)
+                            -> sim::Task<void> {
+              constexpr int kIters = 20;
+              for (int i = 0; i < kIters; ++i) {
+                const auto t0 = world.eng.now();
+                {
+                  trace::Request req("dlm.roundtrip", 1,
+                                     static_cast<std::uint64_t>(i));
+                  co_await world.mgr->lock(1, 0, LockMode::kExclusive);
+                  co_await world.mgr->unlock(1, 0);
+                }
+                out.latency_ns(static_cast<double>(world.eng.now() - t0));
+              }
+            }(w, s));
+            w.eng.run();
+          });
+  }
+  return h.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto harness = bench::extract_harness_flags(argc, argv);
+  if (harness.enabled()) return run_harness(harness);
   print_fig4_op_counts();
   print_op_latency_table();
   print_throughput_table();

@@ -24,6 +24,7 @@
 #include "cache/coop_cache.hpp"
 #include "common/table.hpp"
 #include "common/zipf.hpp"
+#include "harness.hpp"
 #include "monitor/monitor.hpp"
 #include "reconfig/reconfig.hpp"
 
@@ -51,8 +52,7 @@ struct IntegratedResult {
 constexpr SimNanos kWarm = milliseconds(200);
 constexpr SimNanos kEnd = milliseconds(900);
 
-IntegratedResult run_policy(Policy policy) {
-  sim::Engine eng;
+IntegratedResult run_policy_on(sim::Engine& eng, Policy policy) {
   // Node 0: front-end/manager; 1..4: pool (web proxies / batch); 5 backend.
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 6, .cores_per_node = 1});
@@ -111,7 +111,10 @@ IntegratedResult run_policy(Policy policy) {
             servers[doc < 40 ? 0 : doc % servers.size()];
         const auto t0 = e.now();
         const auto before = c.stats();
-        (void)co_await c.serve(proxy, doc);
+        {
+          trace::Request req("web.request", proxy, doc);
+          (void)co_await c.serve(proxy, doc);
+        }
         if (e.now() >= kWarm + milliseconds(100)) {
           lat.add(to_micros(e.now() - t0));
           const auto& after = c.stats();
@@ -160,6 +163,11 @@ IntegratedResult run_policy(Policy policy) {
   return result;
 }
 
+IntegratedResult run_policy(Policy policy) {
+  sim::Engine eng;
+  return run_policy_on(eng, policy);
+}
+
 void print_table() {
   Table table({"policy", "web hit rate (post-move)", "web latency (us)",
                "batch makespan (ms)", "moves"});
@@ -189,9 +197,71 @@ void BM_Integrated(benchmark::State& state) {
 }
 BENCHMARK(BM_Integrated)->DenseRange(0, 2)->UseManualTime()->Iterations(1);
 
+// Harnessed scenarios (docs/BENCHMARKS.md).  The transport pair is the
+// paper's Section 5.2 effect end to end: identical document fetches over
+// the two-sided host-TCP path vs the one-sided SDP rendezvous, each fetch
+// wrapped in a trace::Request so the critical-path analyzer attributes its
+// latency — host-cpu share shrinks two-sided -> one-sided.  The policy
+// scenarios snapshot the integrated Section 6 experiment.
+void run_transport(bench::Scenario& s, datacenter::BackendTransport t) {
+  auto& eng = s.engine();
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+  datacenter::DocumentStore store({.num_docs = 64, .doc_bytes = 16384});
+  datacenter::BackendService backend(tcp, net, store, {3},
+                                     {.request_cpu = microseconds(20),
+                                      .transport = t});
+  backend.start();
+  constexpr int kFetches = 30;
+  eng.spawn([](sim::Engine& e, datacenter::BackendService& b,
+               bench::Scenario& out) -> sim::Task<void> {
+    for (datacenter::DocId d = 0; d < kFetches; ++d) {
+      const auto t0 = e.now();
+      {
+        trace::Request req("web.request", 1, d);
+        (void)co_await b.fetch(1, d);
+      }
+      out.latency_ns(static_cast<double>(e.now() - t0));
+    }
+  }(eng, backend, s));
+  eng.run();
+  s.metric("fetches", kFetches);
+  s.metric("fetch_us_mean", to_micros(eng.now()) / kFetches);
+  s.metric("backend_busy_us_per_fetch",
+           to_micros(fab.node(3).busy_ns()) / kFetches);
+}
+
+int run_harness(const bench::HarnessOptions& opts) {
+  bench::Harness h("integrated", opts);
+  h.run("two-sided", [](bench::Scenario& s) {
+    run_transport(s, datacenter::BackendTransport::kTcp);
+  });
+  h.run("one-sided", [](bench::Scenario& s) {
+    run_transport(s, datacenter::BackendTransport::kSdp);
+  });
+  for (const Policy p :
+       {Policy::kStatic, Policy::kBlind, Policy::kCacheAware}) {
+    const char* label = p == Policy::kStatic    ? "policy/static"
+                        : p == Policy::kBlind   ? "policy/blind"
+                                                : "policy/cache-aware";
+    h.run(label, [p](bench::Scenario& s) {
+      const auto r = run_policy_on(s.engine(), p);
+      s.metric("web_hit_rate", r.web_hit_rate_after);
+      s.metric("web_latency_us", r.web_latency_us);
+      s.metric("batch_makespan_ms", r.batch_done_ms);
+      s.metric("moves", static_cast<double>(r.moves));
+    });
+  }
+  return h.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto harness = bench::extract_harness_flags(argc, argv);
+  if (harness.enabled()) return run_harness(harness);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

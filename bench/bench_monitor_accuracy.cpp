@@ -9,7 +9,9 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "monitor/monitor.hpp"
+#include "monitor/telemetry.hpp"
 
 namespace {
 
@@ -26,8 +28,7 @@ struct AccuracyResult {
   double max_abs_dev;
 };
 
-AccuracyResult measure(MonScheme scheme) {
-  sim::Engine eng;
+AccuracyResult measure_on(sim::Engine& eng, MonScheme scheme) {
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 2, .cores_per_node = 1});
   verbs::Network net(fab);
@@ -71,6 +72,11 @@ AccuracyResult measure(MonScheme scheme) {
   }(eng, fab, mon, result));
   eng.run_until(milliseconds(900));
   return result;
+}
+
+AccuracyResult measure(MonScheme scheme) {
+  sim::Engine eng;
+  return measure_on(eng, scheme);
 }
 
 void print_fig8a() {
@@ -143,9 +149,67 @@ BENCHMARK(BM_MonitorAccuracy)
     ->UseManualTime()
     ->Iterations(1);
 
+// Harnessed scenarios (docs/BENCHMARKS.md): Figure 8a accuracy per scheme
+// plus the telemetry dogfood — a front-end RDMA-scraping a loaded node's
+// own registry snapshot with zero target-CPU involvement.
+int run_harness(const bench::HarnessOptions& opts) {
+  bench::Harness h("monitor_accuracy", opts);
+  for (const auto scheme : kSchemes) {
+    h.run(std::string("accuracy/") + monitor::to_string(scheme),
+          [scheme](bench::Scenario& s) {
+            const auto r = measure_on(s.engine(), scheme);
+            std::size_t exact = 0;
+            for (const double d : r.deviation_series) exact += (d < 0.5);
+            s.metric("mean_abs_dev", r.mean_abs_dev);
+            s.metric("max_abs_dev", r.max_abs_dev);
+            s.metric("samples",
+                     static_cast<double>(r.deviation_series.size()));
+            s.metric("pct_exact",
+                     100.0 * static_cast<double>(exact) /
+                         static_cast<double>(r.deviation_series.size()));
+          });
+  }
+  h.run("telemetry/rdma-scrape", [](bench::Scenario& s) {
+    auto& eng = s.engine();
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 2, .cores_per_node = 1});
+    verbs::Network net(fab);
+    monitor::TelemetryExporter exporter(net, 1,
+                                        monitor::TelemetrySchema::standard());
+    monitor::TelemetryScraper scraper(net, 0);
+    scraper.attach(exporter);
+    exporter.start();
+    double scraped_sends = -1, seq = 0;
+    SimNanos target_busy = 0;
+    eng.spawn([](sim::Engine& e, verbs::Network& n,
+                 monitor::TelemetryScraper& sc, fabric::Fabric& f,
+                 double& out_sends, double& out_seq,
+                 SimNanos& busy) -> sim::Task<void> {
+      // Load on the exporting node: verbs traffic that bumps its counters.
+      auto& hca = n.hca(1);
+      for (int i = 0; i < 8; ++i) co_await hca.raw_write(0, 4096);
+      const auto busy0 = f.node(1).busy_ns();
+      co_await e.delay(milliseconds(2));  // let the mirror daemon publish
+      const auto snap = co_await sc.scrape(1);
+      out_sends = snap.value("verbs.raw_write.ops");
+      out_seq = static_cast<double>(snap.seq);
+      busy = f.node(1).busy_ns() - busy0;
+    }(eng, net, scraper, fab, scraped_sends, seq, target_busy));
+    // run_until: the exporter's mirror daemon republishes forever.
+    eng.run_until(milliseconds(5));
+    s.metric("scraped_raw_write_ops", scraped_sends);
+    s.metric("publish_seq", seq);
+    s.metric("target_cpu_ns_during_scrape",
+             static_cast<double>(target_busy));
+  });
+  return h.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto harness = bench::extract_harness_flags(argc, argv);
+  if (harness.enabled()) return run_harness(harness);
   print_fig8a();
   print_intrusiveness();
   benchmark::Initialize(&argc, argv);

@@ -9,6 +9,7 @@
 
 #include "common/table.hpp"
 #include "datacenter/backend.hpp"
+#include "harness.hpp"
 #include "sockets/sdp.hpp"
 #include "trace/observe.hpp"
 
@@ -141,9 +142,52 @@ int run_observed(const trace::ObserveOptions& opts) {
   return 0;
 }
 
+// Harnessed scenarios (docs/BENCHMARKS.md): one fixed stream per SDP mode,
+// each message send wrapped in a trace::Request so credit stalls and NIC
+// time are attributed per message.
+int run_harness(const bench::HarnessOptions& opts) {
+  bench::Harness h("sdp", opts);
+  for (const auto mode :
+       {SdpMode::kBufferedCopy, SdpMode::kZeroCopy, SdpMode::kAsyncZeroCopy}) {
+    h.run(std::string("stream/") + to_string(mode),
+          [mode](bench::Scenario& s) {
+            auto& eng = s.engine();
+            fabric::Fabric fab(eng, fabric::FabricParams{}, {.num_nodes = 2});
+            verbs::Network net(fab);
+            SdpStream stream(net, 0, 1, mode);
+            constexpr int kMsgs = 16;
+            constexpr std::size_t kBytes = 32768;
+            eng.spawn([](sim::Engine& e, SdpStream& st,
+                         bench::Scenario& out) -> sim::Task<void> {
+              for (int i = 0; i < kMsgs; ++i) {
+                const auto t0 = e.now();
+                {
+                  trace::Request req("sdp.send", 0,
+                                     static_cast<std::uint64_t>(i));
+                  co_await st.send(std::vector<std::byte>(kBytes));
+                }
+                out.latency_ns(static_cast<double>(e.now() - t0));
+              }
+              co_await st.flush();
+            }(eng, stream, s));
+            eng.spawn([](SdpStream& st) -> sim::Task<void> {
+              for (int i = 0; i < kMsgs; ++i) (void)co_await st.recv();
+            }(stream));
+            eng.run();
+            s.metric("msgs", kMsgs);
+            s.metric("msg_bytes", kBytes);
+            s.metric("MB_per_s", static_cast<double>(kBytes) * kMsgs /
+                                     to_secs(eng.now()) / 1e6);
+          });
+  }
+  return h.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto harness = bench::extract_harness_flags(argc, argv);
+  if (harness.enabled()) return run_harness(harness);
   const auto observe = trace::extract_observe_flags(argc, argv);
   if (observe.enabled()) return run_observed(observe);
   print_table();

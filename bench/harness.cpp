@@ -1,0 +1,142 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace dcs::bench {
+
+namespace {
+
+/// Finds `flag <value>` in argv[1..], removes both, returns the value.
+std::string take_flag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    std::string value = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    argv[argc] = nullptr;
+    return value;
+  }
+  return {};
+}
+
+std::string fmt_f3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+HarnessOptions extract_harness_flags(int& argc, char** argv) {
+  HarnessOptions opts;
+  opts.bench_json = take_flag(argc, argv, "--bench-json");
+  opts.critical_path = take_flag(argc, argv, "--critical-path");
+  return opts;
+}
+
+Harness::Harness(std::string bench, HarnessOptions opts)
+    : bench_(std::move(bench)), opts_(std::move(opts)) {}
+
+void Harness::run(const std::string& scenario,
+                  const std::function<void(Scenario&)>& body) {
+  sim::Engine eng;
+  trace::Tracer tracer(eng);
+  trace::Registry::global().reset();
+  tracer.install();
+  Scenario ctx(eng);
+  body(ctx);
+  tracer.uninstall();
+
+  Snapshot snap;
+  snap.name = scenario;
+  snap.virtual_ns = eng.now();
+  snap.metrics = std::move(ctx.metrics_);
+  snap.latency_count = ctx.latency_.count();
+  if (snap.latency_count > 0) {
+    snap.latency_mean = ctx.latency_.mean();
+    snap.p0 = ctx.latency_.percentile(0.0);
+    snap.p50 = ctx.latency_.percentile(50.0);
+    snap.p99 = ctx.latency_.percentile(99.0);
+    snap.p100 = ctx.latency_.percentile(100.0);
+  }
+  {
+    std::ostringstream reg;
+    trace::Registry::global().write_json(reg);
+    snap.registry_json = reg.str();
+  }
+  const trace::CriticalPath cp(tracer);
+  if (cp.aggregate().count > 0) {
+    std::ostringstream agg;
+    trace::write_breakdown_json(agg, cp.aggregate());
+    snap.critical_path_json = agg.str();
+    std::ostringstream report;
+    cp.write_report(report);
+    snap.critical_path_report = report.str();
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+int Harness::finish() {
+  int rc = 0;
+  if (!opts_.bench_json.empty()) {
+    std::ofstream os(opts_.bench_json);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open %s\n",
+                   opts_.bench_json.c_str());
+      rc = 1;
+    } else {
+      os << "{\n  \"schema\": \"dcs-bench-v1\",\n  \"bench\": "
+         << quoted(bench_) << ",\n  \"scenarios\": {\n";
+      for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+        const Snapshot& sn = snapshots_[s];
+        os << "    " << quoted(sn.name) << ": {\n";
+        os << "      \"virtual_ns\": " << sn.virtual_ns << ",\n";
+        os << "      \"metrics\": {";
+        bool first = true;
+        for (const auto& [name, value] : sn.metrics) {
+          os << (first ? "" : ", ") << quoted(name) << ": " << fmt_f3(value);
+          first = false;
+        }
+        os << "},\n";
+        os << "      \"latency_ns\": {\"count\": " << sn.latency_count;
+        if (sn.latency_count > 0) {
+          os << ", \"mean\": " << fmt_f3(sn.latency_mean)
+             << ", \"p0\": " << fmt_f3(sn.p0) << ", \"p50\": " << fmt_f3(sn.p50)
+             << ", \"p99\": " << fmt_f3(sn.p99)
+             << ", \"p100\": " << fmt_f3(sn.p100);
+        }
+        os << "},\n";
+        os << "      \"registry\": " << sn.registry_json;
+        if (!sn.critical_path_json.empty()) {
+          os << ",\n      \"critical_path\": " << sn.critical_path_json;
+        }
+        os << "\n    }" << (s + 1 < snapshots_.size() ? "," : "") << "\n";
+      }
+      os << "  }\n}\n";
+      std::fprintf(stderr, "bench: %zu scenarios -> %s\n", snapshots_.size(),
+                   opts_.bench_json.c_str());
+    }
+  }
+  if (!opts_.critical_path.empty()) {
+    std::ofstream os(opts_.critical_path);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open %s\n",
+                   opts_.critical_path.c_str());
+      rc = 1;
+    } else {
+      for (const Snapshot& sn : snapshots_) {
+        if (sn.critical_path_report.empty()) continue;
+        os << "== scenario " << sn.name << " ==\n"
+           << sn.critical_path_report;
+      }
+    }
+  }
+  return rc;
+}
+
+}  // namespace dcs::bench

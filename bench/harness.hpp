@@ -1,0 +1,105 @@
+// Unified benchmark telemetry harness (docs/BENCHMARKS.md).
+//
+// A harnessed bench declares named scenarios; each runs under a fresh
+// engine with the global metrics registry reset and a tracer installed, so
+// the harness can snapshot everything a perf trajectory needs — scenario
+// metrics, latency percentiles, the registry, and the critical-path
+// attribution — into one canonical `BENCH_<name>.json`.  Output is
+// byte-deterministic for same-seed runs: scenarios appear in run order,
+// maps in sorted order, and every number prints with fixed precision.
+//
+// Usage (see bench_sdp.cpp):
+//
+//   int main(int argc, char** argv) {
+//     auto opts = bench::extract_harness_flags(argc, argv);
+//     if (opts.enabled()) {
+//       bench::Harness h("sdp", opts);
+//       h.run("buffered_copy/64K", [](bench::Scenario& s) { ... });
+//       return h.finish();
+//     }
+//     ... normal google-benchmark path ...
+//   }
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/engine.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/trace.hpp"
+
+namespace dcs::bench {
+
+/// `--bench-json FILE` / `--critical-path FILE` destinations.  Empty
+/// string = not requested.
+struct HarnessOptions {
+  std::string bench_json;     // canonical BENCH_<name>.json
+  std::string critical_path;  // plain-text attribution report
+
+  bool enabled() const {
+    return !bench_json.empty() || !critical_path.empty();
+  }
+};
+
+/// Removes the harness flags from argv (same contract as
+/// trace::extract_observe_flags); call before benchmark::Initialize.
+HarnessOptions extract_harness_flags(int& argc, char** argv);
+
+/// One scenario run: the engine to drive plus sinks for results.
+class Scenario {
+ public:
+  Scenario(sim::Engine& eng) : eng_(eng) {}
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  sim::Engine& engine() { return eng_; }
+  /// Records a scalar result (throughput, ratio, error, ...).
+  void metric(const std::string& name, double value) {
+    metrics_[name] = value;
+  }
+  /// Records one end-to-end latency sample in nanoseconds.
+  void latency_ns(double ns) { latency_.add(ns); }
+
+ private:
+  friend class Harness;
+  sim::Engine& eng_;
+  std::map<std::string, double> metrics_;
+  LatencySamples latency_;
+};
+
+/// Collects scenario snapshots and writes the canonical JSON.
+class Harness {
+ public:
+  Harness(std::string bench, HarnessOptions opts);
+
+  /// Runs `body` under a fresh engine, reset registry, and installed
+  /// tracer, then snapshots the results.  Scenarios run in call order.
+  void run(const std::string& scenario,
+           const std::function<void(Scenario&)>& body);
+
+  /// Writes the requested files.  Returns a process exit code (non-zero
+  /// when a file could not be written).
+  int finish();
+
+ private:
+  struct Snapshot {
+    std::string name;
+    SimNanos virtual_ns = 0;
+    std::map<std::string, double> metrics;
+    // Latency percentiles (ns); count == 0 when the scenario recorded none.
+    std::size_t latency_count = 0;
+    double latency_mean = 0, p0 = 0, p50 = 0, p99 = 0, p100 = 0;
+    std::string registry_json;       // pre-rendered registry object
+    std::string critical_path_json;  // aggregate breakdown object, or empty
+    std::string critical_path_report;  // plain-text report
+  };
+
+  std::string bench_;
+  HarnessOptions opts_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace dcs::bench

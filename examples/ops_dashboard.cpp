@@ -1,14 +1,21 @@
 // An operations dashboard: four app servers run a bursty workload while a
 // front-end monitors them with kernel-assisted RDMA reads (zero target
 // CPU) and a fine-grained reconfiguration manager shifts nodes between two
-// hosted sites as demand moves.  Prints a timeline of load and the
-// reconfiguration event log.
+// hosted sites as demand moves.  Prints a timeline of load, the
+// reconfiguration event log, the registry snapshot the front-end scraped
+// over RDMA from an app server's telemetry page, and the critical-path
+// attribution of the site jobs that ran during the window.
 //
 //   $ ./examples/ops_dashboard
 #include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "monitor/telemetry.hpp"
 #include "reconfig/reconfig.hpp"
+#include "trace/critical_path.hpp"
 
 using namespace dcs;
 
@@ -26,7 +33,13 @@ sim::Task<void> site_traffic(sim::Engine& eng, fabric::Fabric& fab,
     const int burst = busy ? 3 : 1;
     for (int i = 0; i < burst; ++i) {
       const auto server = co_await svc.pick_server(site);
-      eng.spawn(fab.node(server).execute(microseconds(700)));
+      eng.spawn([](fabric::Fabric& f, fabric::NodeId n,
+                   std::uint32_t s) -> sim::Task<void> {
+        // Each job is a request root, so the attribution report below can
+        // split its latency into run-queue wait vs CPU.
+        trace::Request req("site.job", n, s);
+        co_await f.node(n).execute(microseconds(700));
+      }(fab, server, site));
     }
     co_await eng.delay(microseconds(busy ? 900 : 2500));
   }
@@ -58,6 +71,9 @@ sim::Task<void> dashboard(sim::Engine& eng, fabric::Fabric& fab,
 
 int main() {
   sim::Engine eng;
+  trace::Tracer tracer(eng);
+  trace::Registry::global().reset();
+  tracer.install();
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 5, .cores_per_node = 1});
   verbs::Network net(fab);
@@ -71,12 +87,37 @@ int main() {
       {.monitor_interval = milliseconds(50), .history_window = 2});
   svc.start();
 
+  // Telemetry dogfood: every app server mirrors the metrics registry into
+  // a registered page; the front-end RDMA-reads it (zero target CPU).
+  std::vector<std::unique_ptr<monitor::TelemetryExporter>> exporters;
+  monitor::TelemetryScraper scraper(net, 0);
+  for (fabric::NodeId n = 1; n <= 4; ++n) {
+    exporters.push_back(std::make_unique<monitor::TelemetryExporter>(
+        net, n, monitor::TelemetrySchema::standard(), milliseconds(100)));
+    scraper.attach(*exporters.back());
+    exporters.back()->start();
+  }
+
   std::printf("two hosted sites (A, B) on four app servers; site A spikes "
               "between 500 ms and 2000 ms\n\n");
   eng.spawn(site_traffic(eng, fab, svc, 0, milliseconds(500),
                          milliseconds(2000)));
   eng.spawn(site_traffic(eng, fab, svc, 1, kRunFor, kRunFor));  // steady
   eng.spawn(dashboard(eng, fab, mon, svc));
+
+  // Final RDMA scrape of node 1's telemetry page just before the window
+  // closes, to show below.
+  monitor::TelemetrySnapshot snap;
+  SimNanos target_busy_delta = 0;
+  eng.spawn([](sim::Engine& e, fabric::Fabric& f,
+               monitor::TelemetryScraper& sc, monitor::TelemetrySnapshot& out,
+               SimNanos& busy_delta) -> sim::Task<void> {
+    co_await e.delay(kRunFor - milliseconds(1));
+    const auto busy0 = f.node(1).busy_ns();
+    out = co_await sc.scrape(1);
+    busy_delta = f.node(1).busy_ns() - busy0;
+  }(eng, fab, scraper, snap, target_busy_delta));
+
   eng.run_until(kRunFor + milliseconds(1));
 
   std::printf("\nreconfiguration events:\n");
@@ -86,6 +127,21 @@ int main() {
                 'A' + static_cast<char>(ev.to_site));
   }
   if (svc.events().empty()) std::printf("  (none)\n");
+
+  std::printf("\ntelemetry page of node 1, RDMA-scraped at %.0f ms "
+              "(publish seq %llu, target CPU during scrape: %llu ns):\n",
+              to_millis(snap.scraped_at),
+              static_cast<unsigned long long>(snap.seq),
+              static_cast<unsigned long long>(target_busy_delta));
+  for (const auto& [name, value] : snap.values) {
+    if (value == 0.0) continue;  // keep the dashboard short
+    std::printf("  %-26s %12.0f\n", name.c_str(), value);
+  }
+
+  tracer.uninstall();
+  std::printf("\ncritical-path attribution of the run's site jobs:\n");
+  trace::CriticalPath(tracer).write_report(std::cout);
+
   std::printf("\nmonitoring cost on app servers: zero target-CPU "
               "(%llu one-sided reads issued by the front-end)\n",
               static_cast<unsigned long long>(net.hca(0).one_sided_ops()));

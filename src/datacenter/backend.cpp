@@ -1,5 +1,6 @@
 #include "datacenter/backend.hpp"
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::datacenter {
@@ -47,8 +48,12 @@ sim::Task<void> BackendService::session(NodeId node,
   // One request per connection (HTTP/1.0-style), so abandoned connections
   // do not accumulate parked sessions.
   auto& fab = tcp_.fabric();
-  auto request = co_await conn->recv(node);
-  const DocId id = verbs::Decoder(request).u32();
+  auto request = co_await conn->recv_msg(node);
+  // Generation runs in the proxy's request context: under the TCP
+  // transport the origin's CPU burn shows up in the request's host-cpu
+  // attribution — the entanglement one-sided transports remove.
+  trace::AdoptContext adopted(request.ctx);
+  const DocId id = verbs::Decoder(request.payload).u32();
   ++requests_served_;
   // Application-tier work: parse, look up, generate the body.
   const auto generate_ns = static_cast<SimNanos>(
@@ -102,6 +107,7 @@ sim::Task<void> BackendService::sdp_daemon(NodeId node) {
   auto& hca = net_->hca(node);
   for (;;) {
     auto msg = co_await hca.recv(kSdpRequestTag);
+    trace::AdoptContext adopted(msg.ctx);
     verbs::Decoder dec(msg.payload);
     const DocId id = dec.u32();
     const std::uint32_t reply_tag = dec.u32();

@@ -1,5 +1,6 @@
 #include "datacenter/clients.hpp"
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::datacenter {
@@ -46,8 +47,13 @@ sim::Task<void> ClientFarm::session(NodeId client, NodeId proxy,
       co_await tcp_.connect(client, proxy, config_.port);
   for (const DocId id : requests) {
     const auto t0 = eng.now();
-    co_await conn->send(client, verbs::Encoder().u32(id).take());
-    auto body = co_await conn->recv(client);
+    std::vector<std::byte> body;
+    {
+      // Request root: the critical-path analyzer attributes this window.
+      trace::Request req("web.request", client, id);
+      co_await conn->send(client, verbs::Encoder().u32(id).take());
+      body = co_await conn->recv(client);
+    }
     stats_.latency_us.add(to_micros(eng.now() - t0));
     ++stats_.completed;
     if (!store_.verify(id, body)) ++stats_.integrity_failures;

@@ -1,5 +1,6 @@
 #include "datacenter/webfarm.hpp"
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::datacenter {
@@ -33,9 +34,12 @@ sim::Task<void> WebFarm::session(NodeId node, sockets::TcpConnection* conn) {
   // requests.  An empty request payload ends the session.
   auto& fab = tcp_.fabric();
   for (;;) {
-    auto request = co_await conn->recv(node);
-    if (request.empty()) co_return;
-    const DocId id = verbs::Decoder(request).u32();
+    auto request = co_await conn->recv_msg(node);
+    if (request.payload.empty()) co_return;
+    // Serve in the client's causal context: everything the proxy does for
+    // this request (parse, handler, response send) is attributed to it.
+    trace::AdoptContext adopted(request.ctx);
+    const DocId id = verbs::Decoder(request.payload).u32();
     co_await fab.node(node).execute(config_.request_cpu);
     auto body = co_await handler_(node, id);
     ++requests_served_;

@@ -139,6 +139,8 @@ sim::Task<void> Ddss::daemon(NodeId node) {
   auto& hca = net_.hca(node);
   for (;;) {
     verbs::Message msg = co_await hca.recv(config_.control_tag);
+    // Home-node servicing is charged to the client's trace context.
+    trace::AdoptContext adopted(msg.ctx);
     verbs::Decoder dec(msg.payload);
     const auto op = static_cast<Op>(dec.u8());
     const std::uint32_t reply_tag = dec.u32();

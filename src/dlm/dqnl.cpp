@@ -49,7 +49,8 @@ sim::Task<void> DqnlLockManager::lock(NodeId self, LockId id, LockMode mode) {
   (void)mode;
   DCS_CHECK(id < max_locks_);
   metrics().locks.add();
-  DCS_TRACE_SPAN("dlm", "lock", self, id, "DQNL");
+  DCS_TRACE_COST_SPAN(trace::Cost::kLockWait, "dlm", "lock", self, id,
+                      "DQNL");
   const SimNanos t0 = net_.fabric().engine().now();
   auto& hca = net_.hca(self);
   const std::size_t off = static_cast<std::size_t>(id) * 8;

@@ -64,9 +64,9 @@ sim::Task<void> NcosedLockManager::lock(NodeId self, LockId id,
   DCS_CHECK(id < max_locks_);
   const auto key = holder_key(self, id);
   DCS_CHECK_MSG(!held_.contains(key), "N-CoSED: node already holds this lock");
-  DCS_TRACE_SPAN("dlm", "lock", self, id,
-                 mode == LockMode::kShared ? "N-CoSED/shared"
-                                           : "N-CoSED/exclusive");
+  DCS_TRACE_COST_SPAN(trace::Cost::kLockWait, "dlm", "lock", self, id,
+                      mode == LockMode::kShared ? "N-CoSED/shared"
+                                                : "N-CoSED/exclusive");
   const SimNanos t0 = net_.fabric().engine().now();
   if (mode == LockMode::kShared) {
     metrics().shared_locks.add();

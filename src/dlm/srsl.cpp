@@ -43,6 +43,8 @@ sim::Task<void> SrslLockManager::server_loop() {
   auto& hca = net_.hca(server_);
   for (;;) {
     verbs::Message msg = co_await hca.recv(tags::kSrslRequest);
+    // Home-node processing is charged to the requester's trace context.
+    trace::AdoptContext adopted(msg.ctx);
     ++requests_served_;
     metrics().requests.add();
     verbs::Decoder dec(msg.payload);
@@ -113,8 +115,9 @@ sim::Task<void> SrslLockManager::send_grant(NodeId to, LockId id) {
 sim::Task<void> SrslLockManager::lock(NodeId self, LockId id, LockMode mode) {
   DCS_CHECK(id < tags::kTagStride);
   metrics().locks.add();
-  DCS_TRACE_SPAN("dlm", "lock", self, id,
-                 mode == LockMode::kShared ? "SRSL/shared" : "SRSL/exclusive");
+  DCS_TRACE_COST_SPAN(trace::Cost::kLockWait, "dlm", "lock", self, id,
+                      mode == LockMode::kShared ? "SRSL/shared"
+                                                : "SRSL/exclusive");
   const SimNanos t0 = net_.fabric().engine().now();
   auto& hca = net_.hca(self);
   verbs::Encoder req;

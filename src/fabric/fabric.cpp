@@ -1,5 +1,7 @@
 #include "fabric/fabric.hpp"
 
+#include "trace/trace.hpp"
+
 namespace dcs::fabric {
 
 Fabric::Fabric(sim::Engine& eng, FabricParams params, ClusterSpec spec)
@@ -18,14 +20,21 @@ sim::Task<void> Fabric::transfer_impl(NodeId src, NodeId dst,
   DCS_CHECK_MSG(src < nodes_.size() && dst < nodes_.size(), "invalid node id");
   if (src == dst) {
     // Loopback: no wire; charge a single copy at memory speed.
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "fabric", "nic.loopback", src);
     co_await eng_.delay(serialization / 4);
     co_return;
   }
   {
+    // NIC contention (the tx mutex) and serialization both live on the HCA;
+    // one nic-cost interval covers the pair.
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "fabric", "nic.tx", src);
     auto guard = co_await nodes_[src]->nic_tx().scoped();
     co_await eng_.delay(serialization);
   }
-  co_await eng_.delay(params_.link_latency);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kWire, "fabric", "wire", src);
+    co_await eng_.delay(params_.link_latency);
+  }
 }
 
 sim::Task<void> Fabric::wire_transfer(NodeId src, NodeId dst,

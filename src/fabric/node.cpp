@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace dcs::fabric {
 
 Node::Node(sim::Engine& eng, NodeId id, const FabricParams& params,
@@ -24,9 +26,15 @@ sim::Task<void> Node::execute(SimNanos work) {
   sync_kernel_page();
   SimNanos remaining = work;
   while (remaining > 0) {
-    co_await run_queue_.acquire();
+    {
+      DCS_TRACE_COST_SPAN(trace::Cost::kQueueing, "fabric", "runq", id_);
+      co_await run_queue_.acquire();
+    }
     const SimNanos slice = std::min(remaining, params_.sched_quantum);
-    co_await eng_.delay(slice);
+    {
+      DCS_TRACE_COST_SPAN(trace::Cost::kHostCpu, "fabric", "cpu", id_, slice);
+      co_await eng_.delay(slice);
+    }
     remaining -= slice;
     busy_ns_ += slice;
     run_queue_.release();
@@ -39,8 +47,14 @@ sim::Task<void> Node::execute(SimNanos work) {
 sim::Task<void> Node::execute_unsliced(SimNanos work) {
   ++runnable_;
   sync_kernel_page();
-  co_await run_queue_.acquire();
-  co_await eng_.delay(work);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kQueueing, "fabric", "runq", id_);
+    co_await run_queue_.acquire();
+  }
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kHostCpu, "fabric", "cpu", id_, work);
+    co_await eng_.delay(work);
+  }
   busy_ns_ += work;
   run_queue_.release();
   --runnable_;

@@ -1,0 +1,128 @@
+#include "monitor/telemetry.hpp"
+
+#include <cstring>
+
+#include "audit/audit.hpp"
+#include "trace/trace.hpp"
+
+namespace dcs::monitor {
+
+namespace {
+
+/// Schema export value for one registry metric (0.0 when absent).
+double metric_value(const trace::Registry& reg, const std::string& name) {
+  if (const auto* c = reg.find_counter(name)) {
+    return static_cast<double>(c->value);
+  }
+  if (const auto* g = reg.find_gauge(name)) return g->value;
+  if (const auto* d = reg.find_distribution(name)) {
+    return static_cast<double>(d->stat.count());
+  }
+  if (const auto* h = reg.find_histogram(name)) {
+    return static_cast<double>(h->hist.count());
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+TelemetrySchema::TelemetrySchema(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  DCS_CHECK(!names_.empty());
+}
+
+TelemetrySchema TelemetrySchema::standard() {
+  return TelemetrySchema({
+      "verbs.read.ops",
+      "verbs.write.ops",
+      "verbs.send.msgs",
+      "verbs.recv.msgs",
+      "verbs.raw_read.ops",
+      "verbs.raw_write.ops",
+      "sockets.tcp.sends",
+      "sockets.sdp.sends",
+      "cache.coop.local_hits",
+      "cache.coop.remote_hits",
+      "cache.coop.misses",
+      "dlm.srsl.lock_acquires",
+  });
+}
+
+double TelemetrySnapshot::value(const std::string& name) const {
+  for (const auto& [n, v] : values) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+TelemetryExporter::TelemetryExporter(verbs::Network& net, NodeId node,
+                                     TelemetrySchema schema, SimNanos interval)
+    : net_(net), node_(node), schema_(std::move(schema)), interval_(interval) {
+  region_ = net_.hca(node_).allocate_region(schema_.page_bytes());
+  // Like the kernel stats page: rewritten continuously while monitors
+  // RDMA-read it; torn snapshots are tolerated monitoring data.
+  if (auto* a = audit::Auditor::current()) {
+    a->mark_optimistic_range(node_, region_.addr, schema_.page_bytes());
+  }
+}
+
+void TelemetryExporter::publish() {
+  // Kernel-context mirror, exactly like fabric::Node::sync_kernel_page():
+  // zero simulated CPU — the whole point of the scheme.
+  auto page = net_.fabric().node(node_).memory().bytes(region_.addr,
+                                                       schema_.page_bytes());
+  ++seq_;
+  std::memcpy(page.data(), &seq_, 8);
+  const auto& reg = trace::Registry::global();
+  std::size_t off = 8;
+  for (const std::string& name : schema_.names()) {
+    const double v = metric_value(reg, name);
+    std::memcpy(page.data() + off, &v, 8);
+    off += 8;
+  }
+}
+
+void TelemetryExporter::start() {
+  DCS_CHECK(!started_);
+  started_ = true;
+  publish();
+  net_.fabric().engine().spawn(
+      [](TelemetryExporter& self) -> sim::Task<void> {
+        auto& eng = self.net_.fabric().engine();
+        for (;;) {
+          co_await eng.delay(self.interval_);
+          self.publish();
+        }
+      }(*this));
+}
+
+TelemetryScraper::TelemetryScraper(verbs::Network& net, NodeId frontend)
+    : net_(net), frontend_(frontend) {}
+
+void TelemetryScraper::attach(const TelemetryExporter& exporter) {
+  attached_[exporter.node()] =
+      Attached{exporter.region(), exporter.schema().names()};
+}
+
+sim::Task<TelemetrySnapshot> TelemetryScraper::scrape(NodeId target) {
+  const auto it = attached_.find(target);
+  DCS_CHECK_MSG(it != attached_.end(), "scrape of unattached target");
+  const Attached& a = it->second;
+  std::vector<std::byte> img(a.region.len);
+  co_await net_.hca(frontend_).read(a.region, 0, img);
+  ++scrapes_;
+  TelemetrySnapshot snap;
+  std::memcpy(&snap.seq, img.data(), 8);
+  snap.scraped_at = net_.fabric().engine().now();
+  snap.values.reserve(a.names.size());
+  std::size_t off = 8;
+  for (const std::string& name : a.names) {
+    double v = 0.0;
+    std::memcpy(&v, img.data() + off, 8);
+    off += 8;
+    snap.values.emplace_back(name, v);
+  }
+  co_return snap;
+}
+
+}  // namespace dcs::monitor

@@ -1,0 +1,111 @@
+// RDMA-scraped registry telemetry — the observability plane dogfooding the
+// paper's RDMA-Sync monitoring scheme on our own metrics.
+//
+// Each exporting node's simulated kernel mirrors an agreed-upon slice of
+// the trace::Registry into a registered telemetry page, exactly the way it
+// mirrors scheduler statistics into the kernel page: a zero-CPU memcpy in
+// kernel context.  A front-end scraper then RDMA-reads the page on demand
+// (RDMA-Sync) — the target's CPU is never involved, so telemetry stays
+// accurate under load, which is the paper's Section 5.2 argument applied
+// to our own monitoring data.
+//
+// The schema (an ordered list of metric names) is agreed out of band by
+// exporter and scraper, mimicking a real deployment where both sides ship
+// the same protocol version.  Counters and gauges export their value,
+// distributions their count, histograms their total count; absent names
+// export 0.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "verbs/verbs.hpp"
+
+namespace dcs::monitor {
+
+using fabric::NodeId;
+
+/// Ordered metric-name list shared by exporter and scraper.
+class TelemetrySchema {
+ public:
+  explicit TelemetrySchema(std::vector<std::string> names);
+  /// Curated default: the cross-layer counters the ops dashboard shows.
+  static TelemetrySchema standard();
+
+  const std::vector<std::string>& names() const { return names_; }
+  /// Page layout: u64 seq + one f64 per metric.
+  std::size_t page_bytes() const { return 8 + 8 * names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One scraped snapshot: schema-ordered values plus the export sequence
+/// number (how many mirror passes the target's kernel has done).
+struct TelemetrySnapshot {
+  std::uint64_t seq = 0;
+  SimNanos scraped_at = 0;
+  std::vector<std::pair<std::string, double>> values;
+
+  /// 0.0 when `name` is not in the schema.
+  double value(const std::string& name) const;
+};
+
+/// Target-side: registers a telemetry page and mirrors the registry into
+/// it.  Mirroring is kernel-context work (like fabric::Node's kernel page
+/// sync): zero simulated CPU, so exporting costs the target nothing.
+class TelemetryExporter {
+ public:
+  TelemetryExporter(verbs::Network& net, NodeId node, TelemetrySchema schema,
+                    SimNanos interval = milliseconds(1));
+
+  /// Spawns the periodic mirror daemon (and publishes once immediately).
+  void start();
+  /// One immediate mirror pass.
+  void publish();
+
+  NodeId node() const { return node_; }
+  const TelemetrySchema& schema() const { return schema_; }
+  /// The registered page a scraper RDMA-reads.
+  const verbs::RemoteRegion& region() const { return region_; }
+  std::uint64_t publishes() const { return seq_; }
+
+ private:
+  verbs::Network& net_;
+  NodeId node_;
+  TelemetrySchema schema_;
+  SimNanos interval_;
+  verbs::RemoteRegion region_;
+  std::uint64_t seq_ = 0;
+  bool started_ = false;
+};
+
+/// Front-end: RDMA-Sync scrape of remote exporters' telemetry pages.
+class TelemetryScraper {
+ public:
+  TelemetryScraper(verbs::Network& net, NodeId frontend);
+
+  /// Shares the exporter's region + schema with this front-end.
+  void attach(const TelemetryExporter& exporter);
+
+  /// One-sided read of `target`'s page; no target-CPU involvement.
+  sim::Task<TelemetrySnapshot> scrape(NodeId target);
+
+  std::uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  struct Attached {
+    verbs::RemoteRegion region;
+    std::vector<std::string> names;
+  };
+
+  verbs::Network& net_;
+  NodeId frontend_;
+  std::map<NodeId, Attached> attached_;
+  std::uint64_t scrapes_ = 0;
+};
+
+}  // namespace dcs::monitor

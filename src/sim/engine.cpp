@@ -12,7 +12,7 @@ Engine::~Engine() {
 
 void Engine::schedule(std::coroutine_handle<> h, Time t) {
   DCS_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(Entry{t, seq_++, h});
+  queue_.push(Entry{t, seq_++, h, strand_ctx()});
   if (auto* hook = audit_hook()) hook->on_schedule(h.address());
 }
 
@@ -47,6 +47,9 @@ void Engine::run() { run_until(~Time{0}); }
 
 void Engine::run_until(Time t) {
   stopped_ = false;
+  // The caller's strand context must not leak into dispatched strands, nor
+  // the last strand's context into the caller.
+  const StrandCtx caller_ctx = strand_ctx();
   if (auto* hook = audit_hook()) hook->on_run_start();
   while (!stopped_ && !queue_.empty()) {
     const Entry e = queue_.top();
@@ -56,9 +59,11 @@ void Engine::run_until(Time t) {
     now_ = e.t;
     ++dispatched_;
     if (auto* hook = audit_hook()) hook->on_dispatch(e.h.address());
+    strand_ctx() = e.ctx;
     e.h.resume();
     reap_finished();
   }
+  strand_ctx() = caller_ctx;
   // Virtual time passes up to the bound even if no event lands exactly on it
   // (unless the loop was stopped early or drained an unbounded run).
   if (!stopped_ && now_ < t && t != ~Time{0}) now_ = t;
@@ -92,12 +97,15 @@ Task<void> Engine::when_all(std::vector<Task<void>> tasks) {
       std::coroutine_handle<>& slot;
       std::size_t* join_obj;
       std::uint64_t audit_token = 0;
+      StrandCtx saved_ctx{};
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
         slot = h;
+        saved_ctx = strand_ctx();
         if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
       }
       void await_resume() const noexcept {
+        strand_ctx() = saved_ctx;
         if (auto* hook = audit_hook()) {
           hook->resume_strand(audit_token);
           hook->acquire(join_obj);

@@ -15,6 +15,7 @@
 #include "common/check.hpp"
 #include "common/units.hpp"
 #include "sim/audit_hook.hpp"
+#include "sim/strand.hpp"
 #include "sim/task.hpp"
 
 namespace dcs::sim {
@@ -57,12 +58,15 @@ class Engine {
       Engine& eng;
       Time dur;
       std::uint64_t audit_token = 0;
+      StrandCtx saved_ctx{};
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
         eng.schedule(h, eng.now_ + dur);
+        saved_ctx = strand_ctx();
         if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
       }
       void await_resume() const noexcept {
+        strand_ctx() = saved_ctx;
         if (auto* hook = audit_hook()) hook->resume_strand(audit_token);
       }
     };
@@ -83,6 +87,11 @@ class Engine {
     Time t;
     std::uint64_t seq;
     std::coroutine_handle<> h;
+    // Scheduler-side snapshot of the scheduling strand's trace context.
+    // Installed before the resume so spawned roots and woken waiters start
+    // with a follows-from link; awaiters that saved their own context in
+    // await_suspend overwrite it again in await_resume.
+    StrandCtx ctx;
     bool operator>(const Entry& other) const {
       return t != other.t ? t > other.t : seq > other.seq;
     }

@@ -1,0 +1,32 @@
+// Per-strand trace context.
+//
+// A "strand" is one logical chain of coroutine execution.  The engine is
+// single-threaded, so the ambient context is a single global slot; awaiters
+// save it in await_suspend and restore it in await_resume (exactly like the
+// audit tokens), and the engine installs the spawner's snapshot before the
+// first resume of a spawned root so detached work inherits a follows-from
+// link.  The slot lives in sim (not trace) because the engine and the sync
+// primitives cannot depend on the trace layer.
+//
+// `request` is the causal request id a request-scoped tracer assigns
+// (0 = untracked), `span` the innermost open span on this strand
+// (0 = none).  Reading or writing the slot is two word moves — cheap
+// enough to do unconditionally on every suspend/resume.
+#pragma once
+
+#include <cstdint>
+
+namespace dcs::sim {
+
+struct StrandCtx {
+  std::uint64_t request = 0;
+  std::uint64_t span = 0;
+};
+
+/// The ambient context of the currently running strand.
+inline StrandCtx& strand_ctx() {
+  static StrandCtx ctx;
+  return ctx;
+}
+
+}  // namespace dcs::sim

@@ -41,12 +41,17 @@ class Event {
     struct Awaiter {
       Event& ev;
       std::uint64_t audit_token = 0;
+      StrandCtx saved_ctx{};
+      bool suspended = false;
       bool await_ready() const noexcept { return ev.set_; }
       void await_suspend(std::coroutine_handle<> h) {
         ev.waiters_.push_back(h);
+        saved_ctx = strand_ctx();
+        suspended = true;
         if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
       }
       void await_resume() const noexcept {
+        if (suspended) strand_ctx() = saved_ctx;
         if (auto* hook = audit_hook()) {
           hook->resume_strand(audit_token);
           hook->acquire(&ev);
@@ -76,6 +81,8 @@ class Semaphore {
     struct Awaiter {
       Semaphore& sem;
       std::uint64_t audit_token = 0;
+      StrandCtx saved_ctx{};
+      bool suspended = false;
       bool await_ready() const noexcept {
         if (sem.count_ > 0) {
           --sem.count_;
@@ -85,9 +92,12 @@ class Semaphore {
       }
       void await_suspend(std::coroutine_handle<> h) {
         sem.waiters_.push_back(h);
+        saved_ctx = strand_ctx();
+        suspended = true;
         if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
       }
       void await_resume() const noexcept {
+        if (suspended) strand_ctx() = saved_ctx;
         if (auto* hook = audit_hook()) {
           hook->resume_strand(audit_token);
           hook->acquire(&sem);
@@ -219,12 +229,15 @@ class Channel {
   struct ListAwaiter {
     std::deque<std::coroutine_handle<>>& list;
     std::uint64_t audit_token = 0;
+    StrandCtx saved_ctx{};
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       list.push_back(h);
+      saved_ctx = strand_ctx();
       if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
     }
     void await_resume() const noexcept {
+      strand_ctx() = saved_ctx;
       if (auto* hook = audit_hook()) hook->resume_strand(audit_token);
     }
   };

@@ -69,7 +69,8 @@ sim::Task<void> CreditStream::send(std::size_t bytes) {
   DCS_TRACE_SPAN("sockets", "flowctl.send", src_, bytes, "credit");
   if (credits_.available() == 0) {
     flow_metrics().stalls.add();
-    DCS_TRACE_SPAN("sockets", "flowctl.credit_stall", src_, bytes);
+    DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
+                        "flowctl.credit_stall", src_, bytes);
     co_await credits_.acquire();
   } else {
     co_await credits_.acquire();
@@ -117,7 +118,8 @@ sim::Task<void> PacketizedStream::flush() {
 sim::Task<void> PacketizedStream::ship(std::size_t filled) {
   if (credits_.available() == 0) {
     flow_metrics().stalls.add();
-    DCS_TRACE_SPAN("sockets", "flowctl.credit_stall", src_, filled);
+    DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
+                        "flowctl.credit_stall", src_, filled);
     co_await credits_.acquire();
   } else {
     co_await credits_.acquire();

@@ -95,7 +95,8 @@ sim::Task<void> SdpStream::send_buffered(std::vector<std::byte> payload) {
     // messages larger than (credits x buffer) still make progress.
     if (credits_.available() == 0) {
       metrics().credit_stalls.add();
-      DCS_TRACE_SPAN("sockets", "sdp.credit_stall", src_, this_chunk);
+      DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
+                          "sdp.credit_stall", src_, this_chunk);
       co_await credits_.acquire();
     } else {
       co_await credits_.acquire();
@@ -109,15 +110,16 @@ sim::Task<void> SdpStream::send_buffered(std::vector<std::byte> payload) {
     // Push the wire work into the background so successive copies pipeline
     // with transfers — this is the pipelining SDP's credit scheme enables.
     fab.engine().spawn([](SdpStream& self, std::size_t bytes, bool is_last,
-                          std::shared_ptr<std::vector<std::byte>> m)
-                           -> sim::Task<void> {
+                          std::shared_ptr<std::vector<std::byte>> m,
+                          std::uint64_t ctx) -> sim::Task<void> {
       co_await self.net_.hca(self.src_).raw_write(self.dst_, bytes);
       Delivery d;
       d.chunk_bytes = bytes;
       d.last_chunk = is_last;
+      d.ctx = ctx;
       if (is_last) d.payload = std::move(*m);
       self.deliveries_.push(std::move(d));
-    }(*this, this_chunk, last, msg));
+    }(*this, this_chunk, last, msg, trace::current_request()));
   }
 }
 
@@ -143,7 +145,9 @@ sim::Task<void> SdpStream::send_zero_copy(std::vector<std::byte> payload) {
   co_await fab.node(src_).execute(p.registration_cost(bytes));
   co_await net_.hca(src_).raw_write(dst_, fabric::FabricParams::kControlBytes);
   sim::Event done(fab.engine());
-  deliveries_.push(Delivery{std::move(payload), &done});
+  Delivery d{std::move(payload), &done};
+  d.ctx = trace::current_request();
+  deliveries_.push(std::move(d));
   // Synchronous semantics: block until the receiver has pulled the data.
   co_await done.wait();
 }
@@ -163,7 +167,8 @@ sim::Task<void> SdpStream::send_async_zero_copy(std::vector<std::byte> payload) 
   // a still-protected buffer.
   if (window_.available() == 0) {
     metrics().window_stalls.add();
-    DCS_TRACE_SPAN("sockets", "sdp.window_stall", src_, payload.size());
+    DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
+                        "sdp.window_stall", src_, payload.size());
     co_await window_.acquire();
   } else {
     co_await window_.acquire();
@@ -185,7 +190,9 @@ sim::Task<void> SdpStream::az_transfer(std::vector<std::byte> payload) {
   const auto& p = fab.params();
   co_await net_.hca(src_).raw_write(dst_, fabric::FabricParams::kControlBytes);
   sim::Event done(fab.engine());
-  deliveries_.push(Delivery{std::move(payload), &done});
+  Delivery d{std::move(payload), &done};
+  d.ctx = trace::current_request();
+  deliveries_.push(std::move(d));
   co_await done.wait();
   // Transfer finished: unprotect the buffer.
   co_await fab.node(src_).execute(p.mprotect_cost);
@@ -213,6 +220,9 @@ sim::Task<std::vector<std::byte>> SdpStream::recv() {
   metrics().recvs.add();
   for (;;) {
     Delivery d = co_await deliveries_.recv();
+    // Receiver-side work (rendezvous pull, staging copies) belongs to the
+    // sender's request.
+    trace::AdoptContext adopted(d.ctx);
     if (d.completion != nullptr) {
       // Zero-copy rendezvous: pull the payload, then release the sender.
       co_await rendezvous_transfer(d.payload.size());

@@ -87,6 +87,7 @@ class SdpStream {
     sim::Event* completion = nullptr;   // ZSDP rendezvous: signals the sender
     std::size_t chunk_bytes = 0;        // BSDP: bytes in this staging chunk
     bool last_chunk = true;             // BSDP: message complete
+    std::uint64_t ctx = 0;              // sender's trace request context
   };
   sim::Channel<Delivery> deliveries_;
   sim::Semaphore credits_;        // BSDP staging credits

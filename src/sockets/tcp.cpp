@@ -45,21 +45,34 @@ sim::Task<void> TcpConnection::send(NodeId self, std::vector<std::byte> payload)
   co_await fab.node(self).execute(p.tcp_per_message_cpu +
                                   p.copy_time(payload.size()));
   co_await fab.tcp_wire_transfer(self, dst, payload.size() + kTcpHeaderBytes);
-  inbound(dst).queue.push(std::move(payload));
+  inbound(dst).queue.push(
+      TcpMessage{std::move(payload), trace::current_request()});
 }
 
 sim::Task<std::vector<std::byte>> TcpConnection::recv(NodeId self) {
+  TcpMessage msg = co_await recv_msg(self);
+  co_return std::move(msg.payload);
+}
+
+sim::Task<TcpMessage> TcpConnection::recv_msg(NodeId self) {
   auto& fab = net_.fabric();
   const auto& p = fab.params();
-  auto payload = co_await inbound(self).queue.recv();
+  TcpMessage msg = co_await inbound(self).queue.recv();
   metrics().recvs.add();
-  DCS_TRACE_SPAN("sockets", "tcp.recv", self, payload.size());
+  DCS_TRACE_SPAN("sockets", "tcp.recv", self, msg.payload.size());
+  // The receive-path kernel work belongs to the sender's request even when
+  // the caller has not adopted its context yet.
+  trace::AdoptContext adopted(msg.ctx);
   // Interrupt + softirq, then process-context receive: copies the payload to
   // user space.  Runs through the scheduler, so it queues behind load.
-  co_await fab.engine().delay(p.tcp_interrupt_latency);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kQueueing, "sockets", "tcp.interrupt",
+                        self);
+    co_await fab.engine().delay(p.tcp_interrupt_latency);
+  }
   co_await fab.node(self).execute(p.tcp_per_message_cpu +
-                                  p.copy_time(payload.size()));
-  co_return payload;
+                                  p.copy_time(msg.payload.size()));
+  co_return msg;
 }
 
 sim::Channel<TcpConnection*>& TcpNetwork::backlog(NodeId node,

@@ -23,6 +23,14 @@ using fabric::NodeId;
 
 class TcpNetwork;
 
+/// A received message plus the sender's trace request context (0 when the
+/// sender was untracked).  Server loops pass `ctx` to trace::AdoptContext
+/// so their processing is charged to the originating request.
+struct TcpMessage {
+  std::vector<std::byte> payload;
+  std::uint64_t ctx = 0;
+};
+
 /// A connected, message-oriented TCP stream endpoint pair.
 class TcpConnection {
  public:
@@ -38,13 +46,15 @@ class TcpConnection {
   /// receive-path kernel CPU (schedulable: waits in the run queue under
   /// load) before returning the payload.
   sim::Task<std::vector<std::byte>> recv(NodeId self);
+  /// Like recv(), but also surfaces the sender's request context.
+  sim::Task<TcpMessage> recv_msg(NodeId self);
 
   NodeId peer_of(NodeId self) const;
 
  private:
   struct Dir {
     explicit Dir(sim::Engine& eng) : queue(eng) {}
-    sim::Channel<std::vector<std::byte>> queue;
+    sim::Channel<TcpMessage> queue;
   };
   Dir& inbound(NodeId self);
 

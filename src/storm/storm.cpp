@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
 namespace dcs::storm {
@@ -93,8 +94,11 @@ sim::Task<void> StormCluster::data_daemon(NodeId node) {
   auto& fab = net_.fabric();
   for (;;) {
     auto* conn = co_await tcp_.accept(node, config_.data_port);
-    auto query = co_await conn->recv(node);
-    verbs::Decoder dec(query);
+    auto query = co_await conn->recv_msg(node);
+    // Scan, control ops and result shipping all happen on behalf of the
+    // query that arrived in this message.
+    trace::AdoptContext adopted(query.ctx);
+    verbs::Decoder dec(query.payload);
     const std::uint64_t records = dec.u64();
 
     // Register this node's participation in the shared query state.

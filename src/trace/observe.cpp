@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "trace/critical_path.hpp"
+
 namespace dcs::trace {
 
 namespace {
@@ -27,6 +29,8 @@ ObserveOptions extract_observe_flags(int& argc, char** argv) {
   ObserveOptions opts;
   opts.trace_out = take_flag(argc, argv, "--trace-out");
   opts.metrics_out = take_flag(argc, argv, "--metrics-out");
+  opts.critical_path_out = take_flag(argc, argv, "--critical-path");
+  opts.bench_json = take_flag(argc, argv, "--bench-json");
   return opts;
 }
 
@@ -34,7 +38,11 @@ ObservedRun::ObservedRun(sim::Engine& eng, ObserveOptions opts)
     : opts_(std::move(opts)), tracer_(eng) {
   if (!opts_.enabled()) return;
   Registry::global().reset();
-  if (!opts_.trace_out.empty()) tracer_.install();
+  // Critical-path and bench-json output need the event stream too.
+  if (!opts_.trace_out.empty() || !opts_.critical_path_out.empty() ||
+      !opts_.bench_json.empty()) {
+    tracer_.install();
+  }
 }
 
 ObservedRun::~ObservedRun() {
@@ -58,6 +66,41 @@ ObservedRun::~ObservedRun() {
     } else {
       std::fprintf(stderr, "metrics: cannot open %s\n",
                    opts_.metrics_out.c_str());
+    }
+  }
+  if (!opts_.critical_path_out.empty()) {
+    std::ofstream os(opts_.critical_path_out);
+    if (os) {
+      CriticalPath(tracer_).write_report(os);
+      std::fprintf(stderr, "critical-path: -> %s\n",
+                   opts_.critical_path_out.c_str());
+    } else {
+      std::fprintf(stderr, "critical-path: cannot open %s\n",
+                   opts_.critical_path_out.c_str());
+    }
+  }
+  if (!opts_.bench_json.empty()) {
+    std::ofstream os(opts_.bench_json);
+    if (os) {
+      // Single-scenario dcs-bench-v1 snapshot (docs/BENCHMARKS.md), the
+      // same shape bench/harness.cpp writes for multi-scenario benches.
+      const CriticalPath cp(tracer_);
+      os << "{\n  \"schema\": \"dcs-bench-v1\",\n  \"bench\": \""
+         << opts_.bench_name << "\",\n  \"scenarios\": {\n    \"run\": {\n";
+      os << "      \"virtual_ns\": " << tracer_.now() << ",\n";
+      os << "      \"metrics\": {},\n";
+      os << "      \"latency_ns\": {\"count\": 0},\n";
+      os << "      \"registry\": ";
+      Registry::global().write_json(os);
+      if (cp.aggregate().count > 0) {
+        os << ",\n      \"critical_path\": ";
+        write_breakdown_json(os, cp.aggregate());
+      }
+      os << "\n    }\n  }\n}\n";
+      std::fprintf(stderr, "bench: -> %s\n", opts_.bench_json.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot open %s\n",
+                   opts_.bench_json.c_str());
     }
   }
 }

@@ -12,16 +12,22 @@ namespace dcs::trace {
 
 /// Output destinations for one observed run.  Empty string = not requested.
 struct ObserveOptions {
-  std::string trace_out;    // Chrome trace_event JSON file
-  std::string metrics_out;  // plain-text metrics dump file
+  std::string trace_out;          // Chrome trace_event JSON file
+  std::string metrics_out;        // plain-text metrics dump file
+  std::string critical_path_out;  // plain-text critical-path report
+  std::string bench_json;         // single-run dcs-bench-v1 JSON snapshot
+  std::string bench_name = "dcs";  // "bench" field of the JSON snapshot
 
-  bool enabled() const { return !trace_out.empty() || !metrics_out.empty(); }
+  bool enabled() const {
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !critical_path_out.empty() || !bench_json.empty();
+  }
 };
 
-/// Removes `--trace-out <file>` and `--metrics-out <file>` from argv
-/// (shifting later arguments down and decrementing argc) and returns the
-/// extracted values.  Call before handing argv to another parser such as
-/// benchmark::Initialize.
+/// Removes `--trace-out <file>`, `--metrics-out <file>`, `--critical-path
+/// <file>` and `--bench-json <file>` from argv (shifting later arguments
+/// down and decrementing argc) and returns the extracted values.  Call
+/// before handing argv to another parser such as benchmark::Initialize.
 ObserveOptions extract_observe_flags(int& argc, char** argv);
 
 /// Observes one simulation run.  Construction resets the global metrics

@@ -173,7 +173,45 @@ void Registry::write(std::ostream& os) const {
   }
 }
 
+void Registry::write_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, metric] : metrics_) {
+    os << (first ? "" : ", ") << '"' << name << "\": ";
+    first = false;
+    switch (metric.kind) {
+      case Kind::kCounter:
+        os << metric.counter.value;
+        break;
+      case Kind::kGauge:
+        os << fmt_f3(metric.gauge.value);
+        break;
+      case Kind::kDistribution:
+        os << "{\"count\": " << metric.dist.stat.count()
+           << ", \"mean\": " << fmt_f3(metric.dist.stat.mean()) << '}';
+        break;
+      case Kind::kHist:
+        os << "{\"count\": " << metric.hist.hist.count() << '}';
+        break;
+    }
+  }
+  os << '}';
+}
+
 // --- Tracer ---
+
+const char* to_string(Cost c) {
+  switch (c) {
+    case Cost::kNone: return "none";
+    case Cost::kHostCpu: return "host-cpu";
+    case Cost::kNic: return "nic";
+    case Cost::kWire: return "wire";
+    case Cost::kQueueing: return "queueing";
+    case Cost::kCreditStall: return "credit-stall";
+    case Cost::kLockWait: return "lock-wait";
+  }
+  return "?";
+}
 
 Tracer::~Tracer() {
   if (g_current_tracer == this) g_current_tracer = nullptr;
@@ -194,15 +232,40 @@ Tracer* current_tracer() { return g_current_tracer; }
 void Tracer::instant(const char* category, const char* name,
                      std::uint32_t node, std::uint64_t id,
                      const char* detail) {
-  events_.push_back(TraceEvent{category, name, detail, id, eng_.now(),
-                               eng_.now(), node, 'i'});
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.detail = detail;
+  ev.id = id;
+  ev.start = eng_.now();
+  ev.end = eng_.now();
+  ev.request = sim::strand_ctx().request;
+  ev.node = node;
+  ev.phase = 'i';
+  events_.push_back(ev);
 }
 
 void Tracer::complete(const char* category, const char* name,
                       std::uint32_t node, std::uint64_t id,
                       const char* detail, sim::Time start, sim::Time end) {
-  events_.push_back(
-      TraceEvent{category, name, detail, id, start, end, node, 'X'});
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.detail = detail;
+  ev.id = id;
+  ev.start = start;
+  ev.end = end;
+  ev.node = node;
+  ev.phase = 'X';
+  events_.push_back(ev);
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  // A zero-length cost interval cannot influence attribution; skip it so
+  // contention-free fast paths (uncontended run queue, available credits)
+  // do not double the event volume.
+  if (ev.cost != Cost::kNone && ev.end == ev.start) return;
+  events_.push_back(ev);
 }
 
 void Tracer::write_chrome_json(std::ostream& os) const {
@@ -240,12 +303,14 @@ void Tracer::write_chrome_json(std::ostream& os) const {
 
   for (const auto& ev : events_) {
     std::string line = "{\"ph\":\"";
-    line.push_back(ev.phase);
+    // Request roots ('R') render as complete spans; Chrome has no native
+    // request phase.
+    line.push_back(ev.phase == 'i' ? 'i' : 'X');
     line += "\",\"cat\":\"" + json_escape(ev.category) + "\",\"name\":\"" +
             json_escape(ev.name) + "\",\"pid\":" + std::to_string(ev.node) +
             ",\"tid\":" + std::to_string(tids.at(ev.category)) +
             ",\"ts\":" + ns_as_us(ev.start);
-    if (ev.phase == 'X') {
+    if (ev.phase != 'i') {
       line += ",\"dur\":" + ns_as_us(ev.end - ev.start);
     } else {
       line += ",\"s\":\"t\"";
@@ -253,6 +318,12 @@ void Tracer::write_chrome_json(std::ostream& os) const {
     line += ",\"args\":{\"id\":" + std::to_string(ev.id);
     if (ev.detail != nullptr) {
       line += ",\"detail\":\"" + json_escape(ev.detail) + "\"";
+    }
+    if (ev.request != 0) line += ",\"request\":" + std::to_string(ev.request);
+    if (ev.span != 0) line += ",\"span\":" + std::to_string(ev.span);
+    if (ev.parent != 0) line += ",\"parent\":" + std::to_string(ev.parent);
+    if (ev.cost != Cost::kNone) {
+      line += ",\"cost\":\"" + std::string(to_string(ev.cost)) + "\"";
     }
     line += "}}";
     emit(line);
@@ -268,10 +339,10 @@ void Tracer::write_summary(std::ostream& os) const {
   std::map<std::string, Agg> aggs;
   for (const auto& ev : events_) {
     Agg& a = aggs[std::string(ev.category) + '.' + ev.name];
-    if (ev.phase == 'X') {
-      a.span_us.add(to_micros(ev.end - ev.start));
-    } else {
+    if (ev.phase == 'i') {
       ++a.instants;
+    } else {
+      a.span_us.add(to_micros(ev.end - ev.start));
     }
   }
   os << "# trace summary: " << events_.size() << " events\n";

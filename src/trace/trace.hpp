@@ -33,6 +33,7 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "sim/engine.hpp"
+#include "sim/strand.hpp"
 
 namespace dcs::trace {
 
@@ -106,6 +107,11 @@ class Registry {
   /// numbers — byte-deterministic for identical metric state.
   void write(std::ostream& os) const;
 
+  /// Same content as a single JSON object, sorted by name: counters as
+  /// integers, gauges fixed-precision, distributions/histograms as
+  /// {"count", ...} objects.  Embedded in BENCH_*.json (docs/BENCHMARKS.md).
+  void write_json(std::ostream& os) const;
+
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kDistribution, kHist };
   struct Metric {
@@ -125,6 +131,27 @@ class Registry {
 
 // --- simulated-time tracer ---
 
+/// Resource category a span's duration is charged to by the critical-path
+/// analyzer (docs/OBSERVABILITY.md).  The enumeration order is the
+/// attribution precedence: when intervals overlap within one request, the
+/// lowest-valued active category wins, so a tight active-resource span
+/// (host CPU burning, NIC serializing) beats the broad wait span that
+/// encloses it.
+enum class Cost : std::uint8_t {
+  kNone = 0,         // plain span, not a cost interval
+  kHostCpu = 1,      // a core executing (run-queue quantum, copies, kernel)
+  kNic = 2,          // HCA work: post/doorbell, serialization, completion
+  kWire = 3,         // link latency, bytes in flight
+  kQueueing = 4,     // runnable but waiting for a core / interrupt dispatch
+  kCreditStall = 5,  // SDP credit or flow-control window exhausted
+  kLockWait = 6,     // blocked in a DLM queue or service mutex
+};
+
+inline constexpr std::size_t kCostCategories = 6;
+
+/// Stable report name ("host-cpu", "nic", ...); "none" for kNone.
+const char* to_string(Cost c);
+
 /// One recorded event.  Category/name/detail must be string literals (or
 /// otherwise outlive the tracer): events store the pointers, not copies,
 /// so recording is a few stores with no allocation.
@@ -135,8 +162,12 @@ struct TraceEvent {
   std::uint64_t id = 0;        // qp / lock / key / byte count
   sim::Time start = 0;
   sim::Time end = 0;           // == start for instants
+  std::uint64_t request = 0;   // causal request context (0 = untracked)
+  std::uint64_t span = 0;      // span id within the tracer (0 = none)
+  std::uint64_t parent = 0;    // enclosing span on the same strand (0 = root)
   std::uint32_t node = 0;
-  char phase = 'X';            // 'X' complete span, 'i' instant
+  Cost cost = Cost::kNone;
+  char phase = 'X';            // 'X' span, 'i' instant, 'R' request root
 };
 
 class Tracer {
@@ -159,6 +190,15 @@ class Tracer {
   void complete(const char* category, const char* name, std::uint32_t node,
                 std::uint64_t id, const char* detail, sim::Time start,
                 sim::Time end);
+  /// Fully-specified span record (causal links + cost category); used by
+  /// Span and Request.  Zero-duration cost intervals are dropped: they
+  /// contribute nothing to attribution and only bloat the event stream.
+  void record(const TraceEvent& ev);
+
+  /// Fresh causal ids.  Allocation order follows event order, so ids are
+  /// deterministic across same-seed runs.
+  std::uint64_t next_request_id() { return ++last_request_id_; }
+  std::uint64_t next_span_id() { return ++last_span_id_; }
 
   std::size_t event_count() const { return events_.size(); }
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -173,6 +213,8 @@ class Tracer {
  private:
   sim::Engine& eng_;
   std::vector<TraceEvent> events_;
+  std::uint64_t last_request_id_ = 0;
+  std::uint64_t last_span_id_ = 0;
 };
 
 /// The installed tracer, or nullptr (the one-branch gate every
@@ -182,10 +224,15 @@ Tracer* current_tracer();
 /// RAII span: records start time at construction, emits a complete event
 /// at destruction.  Lives in a coroutine frame across co_awaits.  When no
 /// tracer is installed construction and destruction are each one branch.
+///
+/// While a tracer is installed a span also threads itself into the ambient
+/// strand context: it becomes the strand's innermost span for its lifetime
+/// (children point back via `parent`) and inherits the strand's request id.
 class Span {
  public:
   Span(const char* category, const char* name, std::uint32_t node,
-       std::uint64_t id = 0, const char* detail = nullptr) {
+       std::uint64_t id = 0, const char* detail = nullptr,
+       Cost cost = Cost::kNone) {
     if (Tracer* t = current_tracer()) {
       tracer_ = t;
       category_ = category;
@@ -193,15 +240,38 @@ class Span {
       detail_ = detail;
       id_ = id;
       node_ = node;
+      cost_ = cost;
       start_ = t->now();
+      auto& ctx = sim::strand_ctx();
+      request_ = ctx.request;
+      parent_ = ctx.span;
+      span_ = t->next_span_id();
+      ctx.span = span_;
     }
   }
+  /// Cost-first overload used by DCS_TRACE_COST_SPAN.
+  Span(Cost cost, const char* category, const char* name, std::uint32_t node,
+       std::uint64_t id = 0, const char* detail = nullptr)
+      : Span(category, name, node, id, detail, cost) {}
   ~Span() {
     // Re-check installation: a span parked in a coroutine frame may be
     // destroyed at engine teardown, after the tracer was uninstalled.
     if (tracer_ != nullptr && tracer_ == current_tracer()) {
-      tracer_->complete(category_, name_, node_, id_, detail_, start_,
-                        tracer_->now());
+      sim::strand_ctx().span = parent_;
+      TraceEvent ev;
+      ev.category = category_;
+      ev.name = name_;
+      ev.detail = detail_;
+      ev.id = id_;
+      ev.start = start_;
+      ev.end = tracer_->now();
+      ev.request = request_;
+      ev.span = span_;
+      ev.parent = parent_;
+      ev.node = node_;
+      ev.cost = cost_;
+      ev.phase = 'X';
+      tracer_->record(ev);
     }
   }
   Span(const Span&) = delete;
@@ -214,7 +284,91 @@ class Span {
   const char* detail_ = nullptr;
   std::uint64_t id_ = 0;
   sim::Time start_ = 0;
+  std::uint64_t request_ = 0;
+  std::uint64_t span_ = 0;
+  std::uint64_t parent_ = 0;
   std::uint32_t node_ = 0;
+  Cost cost_ = Cost::kNone;
+};
+
+/// The request id of the currently running strand (0 = untracked).  Stamp
+/// it into messages that cross strand boundaries, and adopt it on the far
+/// side with AdoptContext so server-side work is charged to the request.
+inline std::uint64_t current_request() { return sim::strand_ctx().request; }
+
+/// RAII request root: opens a fresh causal context on the current strand
+/// and emits a phase-'R' event covering construction..destruction — the
+/// end-to-end window the critical-path analyzer attributes.  Restores the
+/// previous strand context on destruction, so requests nest and wrapping a
+/// sub-operation inside an outer request replaces (not extends) the
+/// attribution window.  Free when no tracer is installed.
+class Request {
+ public:
+  Request(const char* name, std::uint32_t node, std::uint64_t id = 0) {
+    if (Tracer* t = current_tracer()) {
+      tracer_ = t;
+      name_ = name;
+      node_ = node;
+      id_ = id;
+      start_ = t->now();
+      prev_ = sim::strand_ctx();
+      request_ = t->next_request_id();
+      sim::strand_ctx() = {request_, 0};
+    }
+  }
+  ~Request() {
+    if (tracer_ != nullptr && tracer_ == current_tracer()) {
+      sim::strand_ctx() = prev_;
+      TraceEvent ev;
+      ev.category = "request";
+      ev.name = name_;
+      ev.id = id_;
+      ev.start = start_;
+      ev.end = tracer_->now();
+      ev.request = request_;
+      ev.node = node_;
+      ev.phase = 'R';
+      tracer_->record(ev);
+    }
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  /// 0 when no tracer is installed.
+  std::uint64_t id() const { return request_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = "";
+  std::uint64_t id_ = 0;
+  std::uint64_t request_ = 0;
+  sim::Time start_ = 0;
+  sim::StrandCtx prev_{};
+  std::uint32_t node_ = 0;
+};
+
+/// RAII follows-from adoption: a strand handling a message stamped with a
+/// request id (verbs Message::ctx, TCP segment context, SDP delivery)
+/// charges its work to that request for the scope's lifetime.  A zero id
+/// (untracked sender, tracing off) adopts nothing.
+class AdoptContext {
+ public:
+  explicit AdoptContext(std::uint64_t request) {
+    if (request != 0 && current_tracer() != nullptr) {
+      adopted_ = true;
+      prev_ = sim::strand_ctx();
+      sim::strand_ctx() = {request, 0};
+    }
+  }
+  ~AdoptContext() {
+    if (adopted_) sim::strand_ctx() = prev_;
+  }
+  AdoptContext(const AdoptContext&) = delete;
+  AdoptContext& operator=(const AdoptContext&) = delete;
+
+ private:
+  bool adopted_ = false;
+  sim::StrandCtx prev_{};
 };
 
 }  // namespace dcs::trace
@@ -233,6 +387,12 @@ class Span {
   ::dcs::trace::Span DCS_TRACE_CAT(dcs_trace_span_, __LINE__) {  \
     category, name, node __VA_OPT__(, ) __VA_ARGS__              \
   }
+/// Scoped span whose duration is charged to a Cost category by the
+/// critical-path analyzer.  `cost` is a trace::Cost enumerator.
+#define DCS_TRACE_COST_SPAN(cost, category, name, node, ...)     \
+  ::dcs::trace::Span DCS_TRACE_CAT(dcs_trace_span_, __LINE__) {  \
+    cost, category, name, node __VA_OPT__(, ) __VA_ARGS__        \
+  }
 /// Zero-duration marker at the current virtual time.
 #define DCS_TRACE_INSTANT(category, name, node, ...)              \
   do {                                                            \
@@ -243,5 +403,6 @@ class Span {
   } while (0)
 #else
 #define DCS_TRACE_SPAN(category, name, node, ...) ((void)0)
+#define DCS_TRACE_COST_SPAN(cost, category, name, node, ...) ((void)0)
 #define DCS_TRACE_INSTANT(category, name, node, ...) ((void)0)
 #endif

@@ -127,11 +127,17 @@ sim::Task<void> Hca::read(RemoteRegion target, std::size_t offset,
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
-  co_await eng.delay(p.rdma_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.rdma_post_overhead);
+  }
   // Request packet travels to the target HCA.
   co_await fab_.wire_transfer(node_, target.node,
                               fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.rdma_target_nic);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.target", node_);
+    co_await eng.delay(p.rdma_target_nic);
+  }
   // Target HCA DMA-reads registered memory *now* — this is the observation
   // instant; no target CPU is involved.
   auto src = net_.hca(target.node)
@@ -141,7 +147,10 @@ sim::Task<void> Hca::read(RemoteRegion target, std::size_t offset,
   // Response carries the payload back.
   co_await fab_.wire_transfer(target.node, node_, dst.size() + kHeaderBytes);
   std::copy(in_flight.begin(), in_flight.end(), dst.begin());
-  co_await eng.delay(p.rdma_completion);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.completion", node_);
+    co_await eng.delay(p.rdma_completion);
+  }
 }
 
 sim::Task<void> Hca::write(RemoteRegion target, std::size_t offset,
@@ -153,12 +162,18 @@ sim::Task<void> Hca::write(RemoteRegion target, std::size_t offset,
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
-  co_await eng.delay(p.rdma_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.rdma_post_overhead);
+  }
   // Snapshot the source buffer at post time (HW reads it via DMA then).
   std::vector<std::byte> in_flight(src.begin(), src.end());
   co_await fab_.wire_transfer(node_, target.node,
                               in_flight.size() + kHeaderBytes);
-  co_await eng.delay(p.rdma_target_nic);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.target", node_);
+    co_await eng.delay(p.rdma_target_nic);
+  }
   auto dst = net_.hca(target.node)
                  .resolve(target.rkey, offset, in_flight.size(),
                           audit::AccessKind::kWrite, "verbs.write");
@@ -166,7 +181,10 @@ sim::Task<void> Hca::write(RemoteRegion target, std::size_t offset,
   // RC ack back to the initiator completes the work request.
   co_await fab_.wire_transfer(target.node, node_,
                               fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.rdma_completion);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.completion", node_);
+    co_await eng.delay(p.rdma_completion);
+  }
 }
 
 sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
@@ -185,10 +203,16 @@ sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
   if (offset % 8 != 0) {
     throw RemoteAccessError("atomic requires 8-byte alignment");
   }
-  co_await eng.delay(p.rdma_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.rdma_post_overhead);
+  }
   co_await fab_.wire_transfer(node_, target.node,
                               fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.atomic_execute);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.atomic", node_);
+    co_await eng.delay(p.atomic_execute);
+  }
   // The atomic executes instantaneously in virtual time at the target HCA;
   // single-threaded event dispatch guarantees atomicity.
   auto bytes = net_.hca(target.node)
@@ -201,7 +225,10 @@ sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
   }
   co_await fab_.wire_transfer(target.node, node_,
                               fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.rdma_completion);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.completion", node_);
+    co_await eng.delay(p.rdma_completion);
+  }
   co_return old;
 }
 
@@ -220,10 +247,16 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
   if (offset % 8 != 0) {
     throw RemoteAccessError("atomic requires 8-byte alignment");
   }
-  co_await eng.delay(p.rdma_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.rdma_post_overhead);
+  }
   co_await fab_.wire_transfer(node_, target.node,
                               fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.atomic_execute);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.atomic", node_);
+    co_await eng.delay(p.atomic_execute);
+  }
   auto bytes = net_.hca(target.node)
                    .resolve(target.rkey, offset, 8,
                             audit::AccessKind::kAtomic, "verbs.faa");
@@ -233,7 +266,10 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
   std::memcpy(bytes.data(), &updated, 8);
   co_await fab_.wire_transfer(target.node, node_,
                               fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.rdma_completion);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.completion", node_);
+    co_await eng.delay(p.rdma_completion);
+  }
   co_return old;
 }
 
@@ -245,11 +281,20 @@ sim::Task<void> Hca::raw_write(NodeId dst, std::size_t bytes) {
   co_await check_alive(dst);
   auto& eng = engine();
   const auto& p = fab_.params();
-  co_await eng.delay(p.rdma_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.rdma_post_overhead);
+  }
   co_await fab_.wire_transfer(node_, dst, bytes + kHeaderBytes);
-  co_await eng.delay(p.rdma_target_nic);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.target", node_);
+    co_await eng.delay(p.rdma_target_nic);
+  }
   co_await fab_.wire_transfer(dst, node_, fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.rdma_completion);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.completion", node_);
+    co_await eng.delay(p.rdma_completion);
+  }
 }
 
 sim::Task<void> Hca::raw_read(NodeId dst, std::size_t bytes) {
@@ -260,11 +305,20 @@ sim::Task<void> Hca::raw_read(NodeId dst, std::size_t bytes) {
   co_await check_alive(dst);
   auto& eng = engine();
   const auto& p = fab_.params();
-  co_await eng.delay(p.rdma_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.rdma_post_overhead);
+  }
   co_await fab_.wire_transfer(node_, dst, fabric::FabricParams::kControlBytes);
-  co_await eng.delay(p.rdma_target_nic);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.target", node_);
+    co_await eng.delay(p.rdma_target_nic);
+  }
   co_await fab_.wire_transfer(dst, node_, bytes + kHeaderBytes);
-  co_await eng.delay(p.rdma_completion);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.completion", node_);
+    co_await eng.delay(p.rdma_completion);
+  }
 }
 
 sim::Task<void> Hca::multicast(std::span<const NodeId> group,
@@ -276,17 +330,25 @@ sim::Task<void> Hca::multicast(std::span<const NodeId> group,
   DCS_TRACE_SPAN("verbs", "multicast", node_, payload.size());
   auto& eng = engine();
   const auto& p = fab_.params();
-  co_await eng.delay(p.send_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.send_post_overhead);
+  }
   // One serialization at the sender; the switch replicates to all members.
   {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.tx", node_);
     auto guard = co_await host().nic_tx().scoped();
     co_await eng.delay(p.wire_time(payload.size() + kHeaderBytes));
   }
-  co_await eng.delay(p.link_latency);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kWire, "verbs", "wire", node_);
+    co_await eng.delay(p.link_latency);
+  }
+  const std::uint64_t ctx = trace::current_request();
   for (const NodeId member : group) {
     if (member == node_) continue;  // loopback suppressed, as in IB MC
     if (fab_.node(member).failed()) continue;  // MC is unreliable datagram
-    net_.hca(member).deliver(Message{node_, tag, payload});
+    net_.hca(member).deliver(Message{node_, tag, payload, ctx});
   }
 }
 
@@ -313,10 +375,14 @@ sim::Task<void> Hca::send(NodeId dst, std::uint32_t tag,
   co_await check_alive(dst);
   auto& eng = engine();
   const auto& p = fab_.params();
-  co_await eng.delay(p.send_post_overhead);
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(p.send_post_overhead);
+  }
   const std::size_t bytes = payload.size() + kHeaderBytes;
   co_await fab_.wire_transfer(node_, dst, bytes);
-  net_.hca(dst).deliver(Message{node_, tag, std::move(payload)});
+  net_.hca(dst).deliver(
+      Message{node_, tag, std::move(payload), trace::current_request()});
   // RC ack.
   co_await fab_.wire_transfer(dst, node_, fabric::FabricParams::kControlBytes);
 }
@@ -325,7 +391,9 @@ sim::Task<Message> Hca::recv(std::uint32_t tag) {
   Message msg = co_await queue_for(tag).recv();
   metrics().recv_msgs.add();
   DCS_TRACE_INSTANT("verbs", "recv", node_, tag);
-  // Consuming a completion costs a little CPU on the receiving host.
+  // Consuming a completion costs a little CPU on the receiving host,
+  // charged to the sender's request context.
+  trace::AdoptContext adopted(msg.ctx);
   co_await host().execute_unsliced(fab_.params().recv_consume_cpu);
   co_return msg;
 }

@@ -59,6 +59,10 @@ struct Message {
   NodeId src = 0;
   std::uint32_t tag = 0;
   std::vector<std::byte> payload;
+  /// Trace request context stamped at send time (0 = untracked).  Server
+  /// strands adopt it (trace::AdoptContext) so their work is charged to
+  /// the originating request.
+  std::uint64_t ctx = 0;
 };
 
 class Network;

@@ -152,6 +152,35 @@ TEST(LatencySamplesTest, ExactPercentiles) {
   EXPECT_EQ(s.max(), 100.0);
 }
 
+TEST(LatencySamplesTest, EmptyReturnsZero) {
+  LatencySamples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+TEST(LatencySamplesTest, LinearInterpolationHandComputed) {
+  // Four samples: rank r = p/100 * (n-1); interpolate between floor/ceil.
+  LatencySamples s;
+  for (double v : {40.0, 10.0, 30.0, 20.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);   // r=1.5 -> 20 + 0.5*(30-20)
+  EXPECT_NEAR(s.percentile(99), 39.7, 1e-9);  // r=2.97 -> 30 + 0.97*10
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+}
+
+TEST(LatencySamplesTest, SingleSampleAllPercentilesEqual) {
+  LatencySamples s;
+  s.add(7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.25);
+}
+
 TEST(LogHistogramTest, BucketsPowerOfTwo) {
   LogHistogram h;
   h.add(0);

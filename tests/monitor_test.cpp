@@ -6,6 +6,8 @@
 
 #include "common/rng.hpp"
 #include "monitor/monitor.hpp"
+#include "monitor/telemetry.hpp"
+#include "trace/trace.hpp"
 
 namespace dcs::monitor {
 namespace {
@@ -202,6 +204,77 @@ TEST(MonitorDispatchTest, AccurateMonitorBeatsStaleUnderSkew) {
   };
   EXPECT_LT(run_with(MonScheme::kRdmaSync),
             run_with(MonScheme::kSocketAsync));
+}
+
+// --- RDMA-scraped registry telemetry (the dogfooded monitoring plane) ---
+
+TEST(TelemetryTest, ScrapedSnapshotMatchesRegistryWithZeroTargetCpu) {
+  trace::Registry::global().reset();
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 2, .cores_per_node = 1});
+  verbs::Network net(fab);
+  TelemetryExporter exporter(net, 1, TelemetrySchema::standard(),
+                             milliseconds(1));
+  TelemetryScraper scraper(net, 0);
+  scraper.attach(exporter);
+  exporter.start();
+
+  TelemetrySnapshot snap;
+  SimNanos scrape_busy_delta = 0;
+  eng.spawn([](sim::Engine& e, verbs::Network& n, fabric::Fabric& f,
+               TelemetryScraper& sc, TelemetrySnapshot& out,
+               SimNanos& delta) -> sim::Task<void> {
+    for (int i = 0; i < 5; ++i) co_await n.hca(0).raw_write(1, 4096);
+    co_await e.delay(milliseconds(2));  // let the exporter republish
+    const auto busy0 = f.node(1).busy_ns();
+    out = co_await sc.scrape(1);
+    delta = f.node(1).busy_ns() - busy0;
+  }(eng, net, fab, scraper, snap, scrape_busy_delta));
+  // run_until, not run(): the exporter daemon republishes forever.
+  eng.run_until(milliseconds(5));
+
+  // The scraped page reflects the target's registry slice.
+  EXPECT_GE(snap.seq, 1u);
+  EXPECT_GT(snap.scraped_at, 0u);
+  EXPECT_DOUBLE_EQ(snap.value("verbs.raw_write.ops"), 5.0);
+  EXPECT_DOUBLE_EQ(snap.value("not.in.schema"), 0.0);
+  EXPECT_GE(exporter.publishes(), 2u);
+  EXPECT_EQ(scraper.scrapes(), 1u);
+
+  // Zero target-CPU: neither the periodic mirror passes nor the scrape
+  // itself burned any cycles on node 1 (RDMA-Sync's whole point).
+  EXPECT_EQ(scrape_busy_delta, 0u);
+  EXPECT_EQ(fab.node(1).busy_ns(), 0u);
+}
+
+TEST(TelemetryTest, ExporterDeterministicAcrossRuns) {
+  auto run = [] {
+    trace::Registry::global().reset();
+    sim::Engine eng;
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 2, .cores_per_node = 1});
+    verbs::Network net(fab);
+    TelemetryExporter exporter(net, 1, TelemetrySchema::standard());
+    TelemetryScraper scraper(net, 0);
+    scraper.attach(exporter);
+    exporter.start();
+    TelemetrySnapshot snap;
+    eng.spawn([](sim::Engine& e, verbs::Network& n, TelemetryScraper& sc,
+                 TelemetrySnapshot& out) -> sim::Task<void> {
+      co_await n.hca(0).raw_read(1, 8192);
+      co_await e.delay(milliseconds(3));
+      out = co_await sc.scrape(1);
+    }(eng, net, scraper, snap));
+    eng.run_until(milliseconds(4));
+    return snap;
+  };
+  const TelemetrySnapshot a = run();
+  const TelemetrySnapshot b = run();
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.scraped_at, b.scraped_at);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_DOUBLE_EQ(a.value("verbs.raw_read.ops"), 1.0);
 }
 
 TEST(MonitorTest, QueriesCounted) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sockets/sdp.hpp"
+#include "trace/critical_path.hpp"
 #include "trace/observe.hpp"
 #include "trace/trace.hpp"
 
@@ -217,6 +218,110 @@ TEST(TraceDeterminismTest, SameSeedRunsProduceByteIdenticalOutput) {
   EXPECT_NE(first.find("counter sockets.sdp.sends 24"), std::string::npos)
       << first;
   EXPECT_NE(first.find("sockets.sdp.send |"), std::string::npos);
+}
+
+// --- critical path: determinism and the zero-overhead contract ---
+
+struct RequestRun {
+  SimNanos end = 0;        // final virtual time
+  std::string metrics;     // registry text dump
+  std::string report;      // critical-path report (traced runs only)
+  std::string json;        // critical-path JSON (traced runs only)
+  std::uint64_t requests = 0;
+  double attributed = 0.0;
+};
+
+/// A fixed SDP workload whose sends are request roots.  With `traced`
+/// false nothing is recorded, which is the baseline for the overhead
+/// contract: instrumentation must not perturb the simulation.
+RequestRun request_run(bool traced) {
+  trace::Registry::global().reset();
+  sim::Engine eng;
+  trace::Tracer tracer(eng);
+  if (traced) tracer.install();
+  fabric::Fabric fab(eng, fabric::FabricParams{}, {.num_nodes = 2});
+  verbs::Network net(fab);
+  sockets::SdpStream stream(net, 0, 1, sockets::SdpMode::kZeroCopy);
+  constexpr int kMsgs = 6;
+  eng.spawn([](sockets::SdpStream& s) -> sim::Task<void> {
+    for (int i = 0; i < kMsgs; ++i) {
+      trace::Request req("sdp.send", 0, static_cast<std::uint64_t>(i));
+      co_await s.send(std::vector<std::byte>(16384));
+    }
+    co_await s.flush();
+  }(stream));
+  eng.spawn([](sockets::SdpStream& s) -> sim::Task<void> {
+    for (int i = 0; i < kMsgs; ++i) (void)co_await s.recv();
+  }(stream));
+  eng.run();
+  tracer.uninstall();
+
+  RequestRun out;
+  out.end = eng.now();
+  std::ostringstream m;
+  trace::Registry::global().write(m);
+  out.metrics = m.str();
+  if (traced) {
+    const trace::CriticalPath cp(tracer);
+    std::ostringstream r, j;
+    cp.write_report(r);
+    cp.write_json(j);
+    out.report = r.str();
+    out.json = j.str();
+    out.requests = cp.aggregate().count;
+    out.attributed = cp.aggregate().attributed_fraction();
+  }
+  return out;
+}
+
+TEST(CriticalPathTest, SameSeedRunsProduceByteIdenticalReports) {
+  const RequestRun first = request_run(true);
+  const RequestRun second = request_run(true);
+  ASSERT_FALSE(first.report.empty());
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.json, second.json);
+  EXPECT_EQ(first.end, second.end);
+
+  // Sanity: every send became a request window and the report names it.
+  EXPECT_EQ(first.requests, 6u);
+  EXPECT_NE(first.report.find("sdp.send"), std::string::npos) << first.report;
+  EXPECT_NE(first.json.find("\"schema\":\"dcs-critical-path-v1\""),
+            std::string::npos);
+}
+
+TEST(CriticalPathTest, AttributionCoversWindowAndReportsResidual) {
+  const RequestRun run = request_run(true);
+  ASSERT_EQ(run.requests, 6u);
+  // The six categories must explain the overwhelming share of latency;
+  // whatever is left shows up as an explicit residual line, never silently.
+  EXPECT_GE(run.attributed, 0.95);
+  EXPECT_LE(run.attributed, 1.0 + 1e-12);
+  EXPECT_NE(run.report.find("residual"), std::string::npos);
+}
+
+TEST(CriticalPathTest, TracingDoesNotPerturbTheSimulation) {
+  const RequestRun untraced = request_run(false);
+  const RequestRun traced = request_run(true);
+  // Identical virtual end time and identical op counts: the tracer only
+  // observes, it never schedules or delays.
+  EXPECT_EQ(untraced.end, traced.end);
+  EXPECT_EQ(untraced.metrics, traced.metrics);
+  EXPECT_NE(untraced.metrics.find("counter sockets.sdp.sends 6"),
+            std::string::npos)
+      << untraced.metrics;
+}
+
+TEST(CriticalPathTest, EmptyTraceYieldsEmptyDeterministicReport) {
+  sim::Engine eng;
+  trace::Tracer tracer(eng);
+  const trace::CriticalPath cp(tracer);
+  EXPECT_EQ(cp.aggregate().count, 0u);
+  EXPECT_TRUE(cp.requests().empty());
+  std::ostringstream a, b;
+  cp.write_report(a);
+  cp.write_report(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("requests 0"), std::string::npos) << a.str();
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two sets of dcs-bench-v1 JSON files and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold PCT]
+
+Both directories hold BENCH_<name>.json files as written by the bench
+harness (bench/harness.cpp, `--bench-json`) or by tools/run_tier1.sh
+--bench-json.  For every scenario present in both sets the script compares
+the latency p50 and p99 (when the scenario recorded latency samples) and
+the virtual completion time, and exits nonzero if any candidate value is
+more than --threshold percent (default 10) worse than the baseline.
+
+The simulator is deterministic, so on identical code the comparison is
+exact: any drift at all means the change altered simulated behaviour, and
+drift beyond the threshold fails the build.  Scenarios present on only one
+side are reported but never fatal (benches gain and lose scenarios as the
+code grows).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_benches(directory: pathlib.Path):
+    """Returns {bench_name: {scenario_name: scenario_dict}}."""
+    benches = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != "dcs-bench-v1":
+            print(f"warning: {path} has schema {doc.get('schema')!r}, skipped")
+            continue
+        benches[doc["bench"]] = doc.get("scenarios", {})
+    return benches
+
+
+def pct_change(base: float, cand: float) -> float:
+    """Signed percent change; positive means the candidate is larger."""
+    if base == 0.0:
+        return 0.0 if cand == 0.0 else float("inf")
+    return (cand - base) / base * 100.0
+
+
+def compare_scenario(label, base, cand, threshold, failures):
+    """Appends to `failures`; prints one line per compared quantity."""
+    checks = []
+    base_lat = base.get("latency_ns", {})
+    cand_lat = cand.get("latency_ns", {})
+    if base_lat.get("count", 0) > 0 and cand_lat.get("count", 0) > 0:
+        for q in ("p50", "p99"):
+            if q in base_lat and q in cand_lat:
+                checks.append((q, float(base_lat[q]), float(cand_lat[q])))
+    checks.append(
+        ("virtual_ns", float(base["virtual_ns"]), float(cand["virtual_ns"]))
+    )
+
+    for quantity, b, c in checks:
+        delta = pct_change(b, c)
+        status = "ok"
+        if delta > threshold:
+            status = "REGRESSION"
+            failures.append(f"{label} {quantity}: {b:.1f} -> {c:.1f} "
+                            f"({delta:+.2f}%)")
+        elif delta != 0.0:
+            status = "drift"
+        print(f"  {label:50s} {quantity:10s} {b:>16.1f} {c:>16.1f} "
+              f"{delta:+8.2f}%  {status}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("candidate", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated worsening in percent "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    base_set = load_benches(args.baseline)
+    cand_set = load_benches(args.candidate)
+    if not base_set:
+        print(f"error: no BENCH_*.json files in {args.baseline}")
+        return 2
+    if not cand_set:
+        print(f"error: no BENCH_*.json files in {args.candidate}")
+        return 2
+
+    failures = []
+    compared = 0
+    print(f"  {'bench/scenario':50s} {'quantity':10s} {'baseline':>16s} "
+          f"{'candidate':>16s} {'delta':>9s}")
+    for bench in sorted(base_set):
+        if bench not in cand_set:
+            print(f"  note: bench {bench!r} only in baseline")
+            continue
+        for scenario in sorted(base_set[bench]):
+            if scenario not in cand_set[bench]:
+                print(f"  note: scenario {bench}/{scenario} only in baseline")
+                continue
+            compare_scenario(f"{bench}/{scenario}", base_set[bench][scenario],
+                             cand_set[bench][scenario], args.threshold,
+                             failures)
+            compared += 1
+        for scenario in sorted(set(cand_set[bench]) - set(base_set[bench])):
+            print(f"  note: scenario {bench}/{scenario} only in candidate")
+    for bench in sorted(set(cand_set) - set(base_set)):
+        print(f"  note: bench {bench!r} only in candidate")
+
+    if compared == 0:
+        print("error: no overlapping scenarios to compare")
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.threshold:.1f}%:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\n{compared} scenario(s) compared, no regression beyond "
+          f"{args.threshold:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,11 +58,15 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
-/// Every command takes `--trace-out <file>` / `--metrics-out <file>`; the
-/// returned options feed a trace::ObservedRun scoped around the engine.
-trace::ObserveOptions observe_opts(const Args& args) {
+/// Every command takes `--trace-out` / `--metrics-out` / `--critical-path`
+/// / `--bench-json`; the returned options feed a trace::ObservedRun scoped
+/// around the engine.
+trace::ObserveOptions observe_opts(const Args& args, const char* command) {
   return {.trace_out = args.str("trace-out", ""),
-          .metrics_out = args.str("metrics-out", "")};
+          .metrics_out = args.str("metrics-out", ""),
+          .critical_path_out = args.str("critical-path", ""),
+          .bench_json = args.str("bench-json", ""),
+          .bench_name = std::string("dcs_") + command};
 }
 
 int cmd_params() {
@@ -105,7 +109,7 @@ int cmd_cache(const Args& args) {
   const std::size_t ws_mb = static_cast<std::size_t>(args.num("ws-mb", 12));
 
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args));
+  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 6 + proxies_n, .cores_per_node = 2,
                       .mem_per_node = 64u << 20});
@@ -159,7 +163,7 @@ int cmd_locks(const Args& args) {
   const auto mode = mode_name == "shared" ? dlm::LockMode::kShared
                                           : dlm::LockMode::kExclusive;
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args));
+  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = static_cast<std::size_t>(waiters + 4),
                       .cores_per_node = 2});
@@ -187,7 +191,12 @@ int cmd_locks(const Args& args) {
     eng.spawn([](sim::Engine& e, dlm::LockManager& m, fabric::NodeId self,
                  dlm::LockMode md, SimNanos& last) -> sim::Task<void> {
       co_await e.delay(microseconds(50 + 10 * self));
-      co_await m.lock(self, 0, md);
+      {
+        // Request root so --critical-path splits acquire latency into
+        // lock-wait vs protocol cost.
+        trace::Request req("dlm.acquire", self, self);
+        co_await m.lock(self, 0, md);
+      }
       last = std::max(last, e.now());
       co_await m.unlock(self, 0);
     }(eng, *mgr, static_cast<fabric::NodeId>(2 + i), mode, last_grant));
@@ -214,7 +223,7 @@ int cmd_monitor(const Args& args) {
   const int jobs = static_cast<int>(args.num("jobs", 4));
 
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args));
+  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 2, .cores_per_node = 1});
   verbs::Network net(fab);
@@ -229,7 +238,11 @@ int cmd_monitor(const Args& args) {
                std::uint64_t& rep) -> sim::Task<void> {
     co_await e.delay(milliseconds(50));
     const auto t0 = e.now();
-    const auto s = co_await m.query(1);
+    monitor::Sample s;
+    {
+      trace::Request req("monitor.query", 0, 1);
+      s = co_await m.query(1);
+    }
     lat = e.now() - t0;
     rep = s.stats.runnable;
   }(eng, mon, latency, reported));
@@ -253,7 +266,7 @@ int cmd_storm(const Args& args) {
                          ? storm::ControlPlane::kDdss
                          : storm::ControlPlane::kSockets;
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args));
+  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 5, .cores_per_node = 2});
   verbs::Network net(fab);
@@ -264,6 +277,7 @@ int cmd_storm(const Args& args) {
   storm::QueryResult result;
   eng.spawn([](storm::StormCluster& c, std::uint64_t n,
                storm::QueryResult& out) -> sim::Task<void> {
+    trace::Request req("storm.query", 0, n);
     out = co_await c.run_query(n);
   }(cluster, records, result));
   eng.run();
@@ -290,8 +304,10 @@ void usage() {
       "e-rdma-sync --jobs N\n"
       "  storm   --plane sockets|ddss --records N\n\n"
       "observability (any command except params):\n"
-      "  --trace-out FILE    write a Chrome trace_event JSON of the run\n"
-      "  --metrics-out FILE  write the metrics registry dump of the run\n");
+      "  --trace-out FILE      write a Chrome trace_event JSON of the run\n"
+      "  --metrics-out FILE    write the metrics registry dump of the run\n"
+      "  --critical-path FILE  write the critical-path attribution report\n"
+      "  --bench-json FILE     write a dcs-bench-v1 telemetry snapshot\n");
 }
 
 }  // namespace
