@@ -1,5 +1,6 @@
 #include "harness.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +36,7 @@ std::string quoted(const std::string& s) { return "\"" + s + "\""; }
 HarnessOptions extract_harness_flags(int& argc, char** argv) {
   HarnessOptions opts;
   opts.bench_json = take_flag(argc, argv, "--bench-json");
+  opts.wall_json = take_flag(argc, argv, "--bench-wall-json");
   opts.critical_path = take_flag(argc, argv, "--critical-path");
   return opts;
 }
@@ -49,12 +51,19 @@ void Harness::run(const std::string& scenario,
   trace::Registry::global().reset();
   tracer.install();
   Scenario ctx(eng);
+  const auto wall_start = std::chrono::steady_clock::now();
   body(ctx);
+  const auto wall_end = std::chrono::steady_clock::now();
   tracer.uninstall();
 
   Snapshot snap;
   snap.name = scenario;
   snap.virtual_ns = eng.now();
+  snap.events = eng.events_dispatched();
+  snap.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                           wall_start)
+          .count());
   snap.metrics = std::move(ctx.metrics_);
   snap.latency_count = ctx.latency_.count();
   if (snap.latency_count > 0) {
@@ -120,6 +129,38 @@ int Harness::finish() {
       os << "  }\n}\n";
       std::fprintf(stderr, "bench: %zu scenarios -> %s\n", snapshots_.size(),
                    opts_.bench_json.c_str());
+    }
+  }
+  if (!opts_.wall_json.empty()) {
+    std::ofstream os(opts_.wall_json);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open %s\n", opts_.wall_json.c_str());
+      rc = 1;
+    } else {
+      os << "{\n  \"schema\": \"dcs-bench-wall-v1\",\n  \"bench\": "
+         << quoted(bench_) << ",\n  \"scenarios\": {\n";
+      for (std::size_t s = 0; s < snapshots_.size(); ++s) {
+        const Snapshot& sn = snapshots_[s];
+        const double secs = sn.wall_ns / 1e9;
+        const double eps = secs > 0 ? static_cast<double>(sn.events) / secs : 0;
+        const double npe =
+            sn.events > 0 ? sn.wall_ns / static_cast<double>(sn.events) : 0;
+        os << "    " << quoted(sn.name) << ": {\n"
+           << "      \"virtual_ns\": " << sn.virtual_ns << ",\n"
+           << "      \"events\": " << sn.events << ",\n"
+           << "      \"wall_ns\": " << fmt_f3(sn.wall_ns) << ",\n"
+           << "      \"events_per_sec\": " << fmt_f3(eps) << ",\n"
+           << "      \"ns_per_event\": " << fmt_f3(npe) << "\n"
+           << "    }" << (s + 1 < snapshots_.size() ? "," : "") << "\n";
+        std::fprintf(stderr,
+                     "bench: wall %s/%s: %llu events, %.1f ns/event, "
+                     "%.0f events/sec\n",
+                     bench_.c_str(), sn.name.c_str(),
+                     static_cast<unsigned long long>(sn.events), npe, eps);
+      }
+      os << "  }\n}\n";
+      std::fprintf(stderr, "bench: wall telemetry -> %s\n",
+                   opts_.wall_json.c_str());
     }
   }
   if (!opts_.critical_path.empty()) {

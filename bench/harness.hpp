@@ -8,6 +8,12 @@
 // byte-deterministic for same-seed runs: scenarios appear in run order,
 // maps in sorted order, and every number prints with fixed precision.
 //
+// `--bench-wall-json` additionally writes a sibling `BENCH_<name>.wall.json`
+// (schema `dcs-bench-wall-v1`) with wall-clock events/sec and ns/event per
+// scenario.  Wall time varies run to run and machine to machine, so it is
+// kept strictly out of the byte-stable dcs-bench-v1 files and out of the
+// CI byte-identity assertion (docs/BENCHMARKS.md).
+//
 // Usage (see bench_sdp.cpp):
 //
 //   int main(int argc, char** argv) {
@@ -33,14 +39,16 @@
 
 namespace dcs::bench {
 
-/// `--bench-json FILE` / `--critical-path FILE` destinations.  Empty
-/// string = not requested.
+/// `--bench-json FILE` / `--bench-wall-json FILE` / `--critical-path FILE`
+/// destinations.  Empty string = not requested.
 struct HarnessOptions {
   std::string bench_json;     // canonical BENCH_<name>.json
+  std::string wall_json;      // wall-clock BENCH_<name>.wall.json
   std::string critical_path;  // plain-text attribution report
 
   bool enabled() const {
-    return !bench_json.empty() || !critical_path.empty();
+    return !bench_json.empty() || !wall_json.empty() ||
+           !critical_path.empty();
   }
 };
 
@@ -88,6 +96,11 @@ class Harness {
   struct Snapshot {
     std::string name;
     SimNanos virtual_ns = 0;
+    // Wall-clock telemetry (docs/BENCHMARKS.md).  Written only to the
+    // `.wall.json` sibling: wall time is machine-dependent, so it must
+    // never leak into the byte-stable dcs-bench-v1 output.
+    std::uint64_t events = 0;    // engine events dispatched by the scenario
+    double wall_ns = 0;          // host time spent inside the body
     std::map<std::string, double> metrics;
     // Latency percentiles (ns); count == 0 when the scenario recorded none.
     std::size_t latency_count = 0;

@@ -17,6 +17,41 @@
 
 namespace dcs::sim {
 
+namespace detail {
+
+/// Shared suspension logic for every primitive that parks a coroutine on a
+/// FIFO wait list: saving/restoring the strand context and reporting the
+/// suspend/resume (and optional acquire) edges to the audit hook.  The
+/// strand-level hook calls fire only when the awaiter actually suspended —
+/// an await_ready fast path never was a strand switch, so it must not
+/// report one.  The acquire edge on `sync_obj` (when set) is unconditional:
+/// taking a permit or observing a set event synchronizes-with the releaser
+/// whether or not the taker had to wait.
+struct ParkAwaiter {
+  std::deque<std::coroutine_handle<>>& queue;
+  const void* sync_obj = nullptr;  // reported acquired on resume, if set
+  std::uint64_t audit_token = 0;
+  StrandCtx saved_ctx{};
+  bool suspended = false;
+
+  void park(std::coroutine_handle<> h) {
+    queue.push_back(h);
+    saved_ctx = strand_ctx();
+    suspended = true;
+    if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
+  }
+
+  void unpark() const noexcept {
+    if (suspended) strand_ctx() = saved_ctx;
+    if (auto* hook = audit_hook()) {
+      if (suspended) hook->resume_strand(audit_token);
+      if (sync_obj != nullptr) hook->acquire(sync_obj);
+    }
+  }
+};
+
+}  // namespace detail
+
 /// One-shot (resettable) broadcast event.
 class Event {
  public:
@@ -38,27 +73,13 @@ class Event {
   void reset() { set_ = false; }
 
   auto wait() {
-    struct Awaiter {
+    struct Awaiter : detail::ParkAwaiter {
       Event& ev;
-      std::uint64_t audit_token = 0;
-      StrandCtx saved_ctx{};
-      bool suspended = false;
       bool await_ready() const noexcept { return ev.set_; }
-      void await_suspend(std::coroutine_handle<> h) {
-        ev.waiters_.push_back(h);
-        saved_ctx = strand_ctx();
-        suspended = true;
-        if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
-      }
-      void await_resume() const noexcept {
-        if (suspended) strand_ctx() = saved_ctx;
-        if (auto* hook = audit_hook()) {
-          hook->resume_strand(audit_token);
-          hook->acquire(&ev);
-        }
-      }
+      void await_suspend(std::coroutine_handle<> h) { park(h); }
+      void await_resume() const noexcept { unpark(); }
     };
-    return Awaiter{*this};
+    return Awaiter{{waiters_, this}, *this};
   }
 
  private:
@@ -78,11 +99,8 @@ class Semaphore {
   std::size_t waiting() const { return waiters_.size(); }
 
   auto acquire() {
-    struct Awaiter {
+    struct Awaiter : detail::ParkAwaiter {
       Semaphore& sem;
-      std::uint64_t audit_token = 0;
-      StrandCtx saved_ctx{};
-      bool suspended = false;
       bool await_ready() const noexcept {
         if (sem.count_ > 0) {
           --sem.count_;
@@ -90,21 +108,10 @@ class Semaphore {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) {
-        sem.waiters_.push_back(h);
-        saved_ctx = strand_ctx();
-        suspended = true;
-        if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
-      }
-      void await_resume() const noexcept {
-        if (suspended) strand_ctx() = saved_ctx;
-        if (auto* hook = audit_hook()) {
-          hook->resume_strand(audit_token);
-          hook->acquire(&sem);
-        }
-      }
+      void await_suspend(std::coroutine_handle<> h) { park(h); }
+      void await_resume() const noexcept { unpark(); }
     };
-    return Awaiter{*this};
+    return Awaiter{{waiters_, this}, *this};
   }
 
   void release() {
@@ -198,26 +205,51 @@ class Channel {
   }
 
   /// Suspends until an item is available.
-  Task<T> recv() {
-    while (items_.empty()) {
-      co_await suspend_on(recv_waiters_);
-    }
-    if (auto* hook = audit_hook()) hook->acquire(this);
-    T item = std::move(items_.front());
-    items_.pop_front();
-    if (!send_waiters_.empty()) {
-      eng_.schedule_now(send_waiters_.front());
-      send_waiters_.pop_front();
-    }
-    co_return item;
+  ///
+  /// A frameless awaiter, not a Task: receiving allocates no coroutine
+  /// frame.  Waking a parked receiver reserves the queue head for it
+  /// (`reserved_`), so a woken receiver never races a fast-path arrival for
+  /// the item and needs no re-check loop.
+  auto recv() {
+    struct Awaiter : detail::ParkAwaiter {
+      Channel& ch;
+      bool await_ready() const noexcept {
+        return ch.items_.size() > ch.reserved_;
+      }
+      void await_suspend(std::coroutine_handle<> h) { park(h); }
+      T await_resume() {
+        if (suspended) --ch.reserved_;
+        unpark();
+        return ch.take_front();
+      }
+    };
+    return Awaiter{{recv_waiters_}, *this};
   }
 
-  /// Non-suspending receive attempt.
+  /// Non-suspending receive attempt (never takes an item already promised
+  /// to a woken receiver).
   std::optional<T> try_recv() {
-    if (items_.empty()) return std::nullopt;
+    if (items_.size() <= reserved_) return std::nullopt;
+    return take_front();
+  }
+
+ private:
+  auto suspend_on(std::deque<std::coroutine_handle<>>& list) {
+    struct Awaiter : detail::ParkAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { park(h); }
+      void await_resume() const noexcept { unpark(); }
+    };
+    return Awaiter{{list}};
+  }
+
+  /// Pops the head item and hands a freed capacity slot to the first parked
+  /// sender (shared by recv/try_recv).
+  T take_front() {
     if (auto* hook = audit_hook()) hook->acquire(this);
     T item = std::move(items_.front());
     items_.pop_front();
+    // Parked senders loop on the capacity check, so no reservation needed.
     if (!send_waiters_.empty()) {
       eng_.schedule_now(send_waiters_.front());
       send_waiters_.pop_front();
@@ -225,28 +257,9 @@ class Channel {
     return item;
   }
 
- private:
-  struct ListAwaiter {
-    std::deque<std::coroutine_handle<>>& list;
-    std::uint64_t audit_token = 0;
-    StrandCtx saved_ctx{};
-    bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) {
-      list.push_back(h);
-      saved_ctx = strand_ctx();
-      if (auto* hook = audit_hook()) audit_token = hook->suspend_strand();
-    }
-    void await_resume() const noexcept {
-      strand_ctx() = saved_ctx;
-      if (auto* hook = audit_hook()) hook->resume_strand(audit_token);
-    }
-  };
-  ListAwaiter suspend_on(std::deque<std::coroutine_handle<>>& list) {
-    return ListAwaiter{list};
-  }
-
   void wake_one_receiver() {
     if (!recv_waiters_.empty()) {
+      ++reserved_;
       eng_.schedule_now(recv_waiters_.front());
       recv_waiters_.pop_front();
     }
@@ -257,6 +270,7 @@ class Channel {
   std::deque<T> items_;
   std::deque<std::coroutine_handle<>> recv_waiters_;
   std::deque<std::coroutine_handle<>> send_waiters_;
+  std::size_t reserved_ = 0;  // queued items promised to woken receivers
 };
 
 }  // namespace dcs::sim

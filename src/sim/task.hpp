@@ -9,7 +9,13 @@
 // Ownership: a Task object owns its coroutine frame.  `Engine::spawn` takes
 // over ownership of root frames; awaited child frames are owned by the Task
 // object living in the parent's frame, so tearing down a root tears down its
-// whole call tree.
+// whole call tree.  `Engine::when_all` children keep being owned by their
+// Task objects but complete through a shared JoinState instead of a
+// continuation (see engine.hpp).
+//
+// Frames are allocated from the process-wide FrameSlab (slab.hpp) via the
+// promise's operator new/delete: spawn/finish/respawn churn recycles frames
+// out of free lists instead of hitting the general-purpose heap.
 #pragma once
 
 #include <coroutine>
@@ -18,6 +24,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "sim/slab.hpp"
 
 namespace dcs::sim {
 
@@ -25,11 +32,40 @@ class Engine;
 
 namespace detail {
 
+/// Fan-out bookkeeping shared by an `Engine::when_all` call and its
+/// children; lives in the when_all coroutine frame, which outlives every
+/// child completion.
+struct JoinState {
+  std::size_t remaining;
+  std::coroutine_handle<> waiter;
+  Engine* eng;
+};
+
 /// Part of the promise shared by all Task instantiations.
 struct PromiseBase {
   std::coroutine_handle<> continuation;  // resumed when this task completes
   Engine* owner = nullptr;               // non-null only for spawned roots
+  JoinState* join = nullptr;             // non-null only for when_all children
   std::exception_ptr error;
+
+  // Intrusive membership in the owning engine's live-root list (roots only;
+  // replaces the per-spawn hash-map insert/erase the engine used to pay).
+  PromiseBase* root_next = nullptr;
+  PromiseBase** root_pprev = nullptr;
+  std::coroutine_handle<> self;  // set by spawn; used for teardown
+
+  // Route coroutine frames through the slab.  Both the sized and unsized
+  // delete are provided: the frame's own size is recorded in a block
+  // header, so either entry point finds the right free list.
+  static void* operator new(std::size_t size) {
+    return FrameSlab::instance().allocate(size);
+  }
+  static void operator delete(void* p) noexcept {
+    FrameSlab::instance().deallocate(p);
+  }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FrameSlab::instance().deallocate(p);
+  }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
@@ -161,6 +197,8 @@ class [[nodiscard]] Task<void> {
   }
 
  private:
+  friend class Engine;  // when_all wires children to a JoinState in place
+
   void destroy() {
     if (handle_) {
       handle_.destroy();

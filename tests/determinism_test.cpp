@@ -6,7 +6,11 @@
 // engine scale.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "cache/coop_cache.hpp"
+#include "sim/audit_hook.hpp"
 #include "common/zipf.hpp"
 #include "datacenter/clients.hpp"
 #include "datacenter/webfarm.hpp"
@@ -18,6 +22,7 @@ namespace {
 struct Fingerprint {
   SimNanos end_time;
   std::uint64_t events;
+  std::uint64_t dispatch_fp;  // hash over every dispatched (time, seq) pair
   std::uint64_t completed;
   double tps;
   std::uint64_t local_hits;
@@ -28,7 +33,9 @@ struct Fingerprint {
   bool operator==(const Fingerprint&) const = default;
 };
 
-Fingerprint run_experiment(std::uint64_t seed) {
+/// Runs the 30-second experiment in `chunks` equal run_until slices; the
+/// dispatch stream must not depend on where the run is chopped.
+Fingerprint run_experiment(std::uint64_t seed, int chunks = 1) {
   sim::Engine eng;
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 6, .cores_per_node = 2});
@@ -51,10 +58,15 @@ Fingerprint run_experiment(std::uint64_t seed) {
                                  {.sessions = 6});
   ZipfTrace trace(store.num_docs(), 0.8, 600, seed);
   eng.spawn(clients.run({trace.requests().begin(), trace.requests().end()}));
-  eng.run_until(seconds(30));
+  const SimNanos total = seconds(30);
+  for (int c = 1; c <= chunks; ++c) {
+    eng.run_until(total / static_cast<std::uint64_t>(chunks) *
+                  static_cast<std::uint64_t>(c));
+  }
 
   return Fingerprint{eng.now(),
                      eng.events_dispatched(),
+                     eng.dispatch_fingerprint(),
                      clients.stats().completed,
                      clients.stats().tps(),
                      coop.stats().local_hits,
@@ -83,6 +95,86 @@ TEST(DeterminismTest, ThreeConsecutiveRunsStable) {
   for (int i = 0; i < 2; ++i) {
     EXPECT_EQ(run_experiment(777), first) << "run " << i;
   }
+}
+
+TEST(DeterminismTest, ChoppedRunUntilMatchesSingleRun) {
+  const auto whole = run_experiment(12345, 1);
+  const auto chopped = run_experiment(12345, 30);
+  EXPECT_EQ(whole, chopped)
+      << "dispatch stream must not depend on run_until slicing";
+}
+
+/// Records the engine-reported (time, seq) coordinates of every dispatch.
+/// This is the scheduler's ordering contract made observable: the stream
+/// must be lexicographically strictly increasing within a run and
+/// byte-identical across same-seed runs.
+class OrderRecorder final : public sim::AuditHook {
+ public:
+  explicit OrderRecorder(sim::Engine& eng) : eng_(eng) {
+    sim::audit_hook() = this;
+  }
+  ~OrderRecorder() override { sim::audit_hook() = nullptr; }
+
+  void on_dispatch(void*) override {
+    order_.emplace_back(eng_.now(), eng_.last_dispatch_seq());
+  }
+  void on_schedule(void*) override {}
+  void on_spawn(void*) override {}
+  std::uint64_t suspend_strand() override { return 0; }
+  void resume_strand(std::uint64_t) override {}
+  void on_run_start() override {}
+  void on_run_done() override {}
+  void release(const void*) override {}
+  void acquire(const void*) override {}
+
+  const std::vector<std::pair<SimNanos, std::uint64_t>>& order() const {
+    return order_;
+  }
+
+ private:
+  sim::Engine& eng_;
+  std::vector<std::pair<SimNanos, std::uint64_t>> order_;
+};
+
+std::vector<std::pair<SimNanos, std::uint64_t>> record_order(
+    std::uint64_t seed) {
+  sim::Engine eng;
+  OrderRecorder recorder(eng);
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .cores_per_node = 2});
+  sockets::TcpNetwork tcp(fab);
+  datacenter::DocumentStore store({.num_docs = 60, .doc_bytes = 4096});
+  datacenter::BackendService backend(tcp, store, {3});
+  backend.start();
+  datacenter::WebFarm farm(
+      tcp, {1, 2},
+      [&backend](fabric::NodeId node, datacenter::DocId id) {
+        return backend.fetch(node, id);
+      });
+  farm.start();
+  datacenter::ClientFarm clients(tcp, {0}, farm.proxies(), store,
+                                 {.sessions = 4});
+  ZipfTrace trace(store.num_docs(), 0.8, 200, seed);
+  eng.spawn(clients.run({trace.requests().begin(), trace.requests().end()}));
+  eng.run_until(seconds(10));
+  return recorder.order();
+}
+
+TEST(DeterminismTest, DispatchOrderIsLexicographicAndReplays) {
+  const auto a = record_order(42);
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const bool time_advanced = a[i].first > a[i - 1].first;
+    const bool seq_advanced =
+        a[i].first == a[i - 1].first && a[i].second > a[i - 1].second;
+    ASSERT_TRUE(time_advanced || seq_advanced)
+        << "dispatch " << i << ": (" << a[i - 1].first << ", "
+        << a[i - 1].second << ") -> (" << a[i].first << ", " << a[i].second
+        << ")";
+  }
+  const auto b = record_order(42);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a == b) << "per-event (time, seq) stream must replay exactly";
 }
 
 }  // namespace

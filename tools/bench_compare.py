@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold PCT]
+    tools/bench_compare.py --wall BASELINE_DIR CANDIDATE_DIR [--threshold PCT]
 
 Both directories hold BENCH_<name>.json files as written by the bench
 harness (bench/harness.cpp, `--bench-json`) or by tools/run_tier1.sh
@@ -16,6 +17,12 @@ exact: any drift at all means the change altered simulated behaviour, and
 drift beyond the threshold fails the build.  Scenarios present on only one
 side are reported but never fatal (benches gain and lose scenarios as the
 code grows).
+
+With --wall the directories hold BENCH_<name>.wall.json files
+(dcs-bench-wall-v1, `--bench-wall-json`) and the script compares wall-clock
+ns/event instead.  Wall time is machine- and load-dependent, so --wall only
+REPORTS deltas beyond the threshold (default 15%) and always exits zero; it
+exists to make throughput changes visible in CI logs, not to gate them.
 """
 
 import argparse
@@ -24,13 +31,17 @@ import pathlib
 import sys
 
 
-def load_benches(directory: pathlib.Path):
+def load_benches(directory: pathlib.Path, wall: bool = False):
     """Returns {bench_name: {scenario_name: scenario_dict}}."""
     benches = {}
-    for path in sorted(directory.glob("BENCH_*.json")):
+    pattern = "BENCH_*.wall.json" if wall else "BENCH_*.json"
+    schema = "dcs-bench-wall-v1" if wall else "dcs-bench-v1"
+    for path in sorted(directory.glob(pattern)):
+        if not wall and path.name.endswith(".wall.json"):
+            continue
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
-        if doc.get("schema") != "dcs-bench-v1":
+        if doc.get("schema") != schema:
             print(f"warning: {path} has schema {doc.get('schema')!r}, skipped")
             continue
         benches[doc["bench"]] = doc.get("scenarios", {})
@@ -70,22 +81,42 @@ def compare_scenario(label, base, cand, threshold, failures):
               f"{delta:+8.2f}%  {status}")
 
 
+def compare_wall_scenario(label, base, cand, threshold, notable):
+    """Wall-clock ns/event comparison; appends to `notable`, never fatal."""
+    b = float(base["ns_per_event"])
+    c = float(cand["ns_per_event"])
+    delta = pct_change(b, c)
+    status = "ok"
+    if abs(delta) > threshold:
+        status = "SLOWER" if delta > 0 else "FASTER"
+        notable.append(f"{label} ns/event: {b:.1f} -> {c:.1f} "
+                       f"({delta:+.2f}%)")
+    print(f"  {label:50s} {'ns/event':10s} {b:>16.1f} {c:>16.1f} "
+          f"{delta:+8.2f}%  {status}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=pathlib.Path)
     parser.add_argument("candidate", type=pathlib.Path)
-    parser.add_argument("--threshold", type=float, default=10.0,
+    parser.add_argument("--threshold", type=float, default=None,
                         help="max tolerated worsening in percent "
-                             "(default: %(default)s)")
+                             "(default: 10, or 15 with --wall)")
+    parser.add_argument("--wall", action="store_true",
+                        help="compare BENCH_*.wall.json wall-clock ns/event "
+                             "(report-only: always exits zero)")
     args = parser.parse_args()
+    if args.threshold is None:
+        args.threshold = 15.0 if args.wall else 10.0
 
-    base_set = load_benches(args.baseline)
-    cand_set = load_benches(args.candidate)
+    suffix = ".wall.json" if args.wall else ".json"
+    base_set = load_benches(args.baseline, wall=args.wall)
+    cand_set = load_benches(args.candidate, wall=args.wall)
     if not base_set:
-        print(f"error: no BENCH_*.json files in {args.baseline}")
+        print(f"error: no BENCH_*{suffix} files in {args.baseline}")
         return 2
     if not cand_set:
-        print(f"error: no BENCH_*.json files in {args.candidate}")
+        print(f"error: no BENCH_*{suffix} files in {args.candidate}")
         return 2
 
     failures = []
@@ -100,9 +131,16 @@ def main() -> int:
             if scenario not in cand_set[bench]:
                 print(f"  note: scenario {bench}/{scenario} only in baseline")
                 continue
-            compare_scenario(f"{bench}/{scenario}", base_set[bench][scenario],
-                             cand_set[bench][scenario], args.threshold,
-                             failures)
+            if args.wall:
+                compare_wall_scenario(f"{bench}/{scenario}",
+                                      base_set[bench][scenario],
+                                      cand_set[bench][scenario],
+                                      args.threshold, failures)
+            else:
+                compare_scenario(f"{bench}/{scenario}",
+                                 base_set[bench][scenario],
+                                 cand_set[bench][scenario], args.threshold,
+                                 failures)
             compared += 1
         for scenario in sorted(set(cand_set[bench]) - set(base_set[bench])):
             print(f"  note: scenario {bench}/{scenario} only in candidate")
@@ -112,6 +150,17 @@ def main() -> int:
     if compared == 0:
         print("error: no overlapping scenarios to compare")
         return 2
+    if args.wall:
+        # Wall time is machine-dependent: report, never gate.
+        if failures:
+            print(f"\n{len(failures)} wall-clock delta(s) beyond "
+                  f"{args.threshold:.1f}% (report-only):")
+            for f in failures:
+                print(f"  {f}")
+        else:
+            print(f"\n{compared} scenario(s) compared, no wall-clock delta "
+                  f"beyond {args.threshold:.1f}%")
+        return 0
     if failures:
         print(f"\n{len(failures)} regression(s) beyond "
               f"{args.threshold:.1f}%:")

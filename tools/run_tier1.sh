@@ -41,7 +41,7 @@ done
 run_benches() {
   # $1 = directory holding the bench binaries
   mkdir -p "$BENCH_JSON_DIR"
-  for b in sdp ddss_latency dlm_cascade monitor_accuracy integrated; do
+  for b in sdp ddss_latency dlm_cascade monitor_accuracy integrated engine; do
     "$1/bench_$b" --bench-json "$BENCH_JSON_DIR/BENCH_$b.json"
   done
   echo "bench telemetry written to $BENCH_JSON_DIR"
