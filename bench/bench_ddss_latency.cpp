@@ -152,10 +152,9 @@ int run_harness(const bench::HarnessOptions& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto harness = bench::extract_harness_flags(argc, argv);
-  if (harness.enabled()) return run_harness(harness);
-  const auto observe = trace::extract_observe_flags(argc, argv);
-  if (observe.enabled()) return run_observed(observe);
+  const auto flags = bench::extract_harness_flags(argc, argv);
+  if (flags.harness_mode()) return run_harness(flags);
+  if (flags.observe_mode()) return run_observed(flags.observe("ddss_latency"));
   print_fig3a();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

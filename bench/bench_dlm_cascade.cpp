@@ -267,7 +267,9 @@ int run_harness(const bench::HarnessOptions& opts) {
 
 int main(int argc, char** argv) {
   const auto harness = bench::extract_harness_flags(argc, argv);
-  if (harness.enabled()) return run_harness(harness);
+  if (harness.harness_mode() || !harness.postmortem_dir.empty()) {
+    return run_harness(harness);
+  }
   print_fig4_op_counts();
   print_op_latency_table();
   print_throughput_table();

@@ -184,7 +184,11 @@ BENCHMARK(BM_Fanout64)->Arg(250)->Arg(1000);
 
 int main(int argc, char** argv) {
   const auto harness = dcs::bench::extract_harness_flags(argc, argv);
-  if (harness.enabled()) return run_harness(harness);
+  // No single-run observed path here: --postmortem-dir rides the harness
+  // (a flight recorder is armed around every scenario).
+  if (harness.harness_mode() || !harness.postmortem_dir.empty()) {
+    return run_harness(harness);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

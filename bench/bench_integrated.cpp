@@ -137,7 +137,7 @@ IntegratedResult run_policy_on(sim::Engine& eng, Policy policy) {
     // time, so jobs arriving after a reconfiguration use the new node.
     std::size_t remaining = 120;
     for (int j = 0; j < 120; ++j) {
-      e.spawn([](sim::Engine& eng2, fabric::Fabric& fab2,
+      e.spawn([](sim::Engine&, fabric::Fabric& fab2,
                  reconfig::ReconfigService& svc2,
                  std::size_t& left) -> sim::Task<void> {
         const auto server = co_await svc2.pick_server(1);
@@ -261,7 +261,9 @@ int run_harness(const bench::HarnessOptions& opts) {
 
 int main(int argc, char** argv) {
   const auto harness = bench::extract_harness_flags(argc, argv);
-  if (harness.enabled()) return run_harness(harness);
+  if (harness.harness_mode() || !harness.postmortem_dir.empty()) {
+    return run_harness(harness);
+  }
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -209,7 +209,9 @@ int run_harness(const bench::HarnessOptions& opts) {
 
 int main(int argc, char** argv) {
   const auto harness = bench::extract_harness_flags(argc, argv);
-  if (harness.enabled()) return run_harness(harness);
+  if (harness.harness_mode() || !harness.postmortem_dir.empty()) {
+    return run_harness(harness);
+  }
   print_fig8a();
   print_intrusiveness();
   benchmark::Initialize(&argc, argv);

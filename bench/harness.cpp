@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "trace/flight.hpp"
+
 namespace dcs::bench {
 
 namespace {
@@ -31,6 +33,14 @@ std::string fmt_f3(double v) {
 
 std::string quoted(const std::string& s) { return "\"" + s + "\""; }
 
+/// Scenario names embed '/' separators; dump prefixes become file names.
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return name;
+}
+
 }  // namespace
 
 HarnessOptions extract_harness_flags(int& argc, char** argv) {
@@ -38,6 +48,9 @@ HarnessOptions extract_harness_flags(int& argc, char** argv) {
   opts.bench_json = take_flag(argc, argv, "--bench-json");
   opts.wall_json = take_flag(argc, argv, "--bench-wall-json");
   opts.critical_path = take_flag(argc, argv, "--critical-path");
+  opts.trace_out = take_flag(argc, argv, "--trace-out");
+  opts.metrics_out = take_flag(argc, argv, "--metrics-out");
+  opts.postmortem_dir = take_flag(argc, argv, "--postmortem-dir");
   return opts;
 }
 
@@ -48,12 +61,22 @@ void Harness::run(const std::string& scenario,
                   const std::function<void(Scenario&)>& body) {
   sim::Engine eng;
   trace::Tracer tracer(eng);
+  // Declared after the engine/tracer so it uninstalls first: a wedged
+  // scenario's post-mortem must capture ring context before teardown.
+  std::unique_ptr<trace::FlightRecorder> flight;
   trace::Registry::global().reset();
   tracer.install();
+  if (!opts_.postmortem_dir.empty()) {
+    flight = std::make_unique<trace::FlightRecorder>(
+        eng, trace::FlightConfig{.postmortem_dir = opts_.postmortem_dir,
+                                 .prefix = bench_ + "." + sanitize(scenario)});
+    flight->install();
+  }
   Scenario ctx(eng);
   const auto wall_start = std::chrono::steady_clock::now();
   body(ctx);
   const auto wall_end = std::chrono::steady_clock::now();
+  if (flight != nullptr) flight->uninstall();
   tracer.uninstall();
 
   Snapshot snap;

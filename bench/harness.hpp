@@ -18,11 +18,12 @@
 //
 //   int main(int argc, char** argv) {
 //     auto opts = bench::extract_harness_flags(argc, argv);
-//     if (opts.enabled()) {
+//     if (opts.harness_mode()) {
 //       bench::Harness h("sdp", opts);
 //       h.run("buffered_copy/64K", [](bench::Scenario& s) { ... });
 //       return h.finish();
 //     }
+//     if (opts.observe_mode()) { ... trace::ObservedRun path ... }
 //     ... normal google-benchmark path ...
 //   }
 #pragma once
@@ -35,25 +36,60 @@
 #include "common/stats.hpp"
 #include "sim/engine.hpp"
 #include "trace/critical_path.hpp"
+#include "trace/observe.hpp"
 #include "trace/trace.hpp"
 
 namespace dcs::bench {
 
-/// `--bench-json FILE` / `--bench-wall-json FILE` / `--critical-path FILE`
-/// destinations.  Empty string = not requested.
+/// Every observability/telemetry flag the repo's binaries accept, parsed
+/// in exactly one place.  Empty string = not requested.
+///
+/// Harness flags (multi-scenario dcs-bench-v1 telemetry):
+///   --bench-json FILE       canonical BENCH_<name>.json
+///   --bench-wall-json FILE  wall-clock BENCH_<name>.wall.json
+///   --critical-path FILE    plain-text attribution report
+/// Single-run observation flags (trace::ObservedRun):
+///   --trace-out FILE        Chrome trace_event JSON
+///   --metrics-out FILE      metrics registry dump
+///   --postmortem-dir DIR    arm a flight recorder dumping here
+///
+/// `--postmortem-dir` applies to both modes: in harness mode every
+/// scenario runs with an armed trace::FlightRecorder, in observed mode the
+/// whole run does.
 struct HarnessOptions {
   std::string bench_json;     // canonical BENCH_<name>.json
   std::string wall_json;      // wall-clock BENCH_<name>.wall.json
   std::string critical_path;  // plain-text attribution report
+  std::string trace_out;      // Chrome trace_event JSON file
+  std::string metrics_out;    // plain-text metrics dump file
+  std::string postmortem_dir; // flight-recorder dump directory
 
-  bool enabled() const {
+  /// Multi-scenario telemetry requested (run the bench::Harness path).
+  bool harness_mode() const {
     return !bench_json.empty() || !wall_json.empty() ||
            !critical_path.empty();
   }
+  /// Single-run observation requested (run the trace::ObservedRun path).
+  bool observe_mode() const {
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !postmortem_dir.empty();
+  }
+  /// The single-run observation subset, for trace::ObservedRun.  The
+  /// critical-path/bench-json sinks ride along so a binary with no
+  /// harness path (the `dcs` CLI) still honors them.
+  trace::ObserveOptions observe(const std::string& bench_name) const {
+    return {.trace_out = trace_out,
+            .metrics_out = metrics_out,
+            .critical_path_out = critical_path,
+            .bench_json = bench_json,
+            .postmortem_dir = postmortem_dir,
+            .bench_name = bench_name};
+  }
 };
 
-/// Removes the harness flags from argv (same contract as
-/// trace::extract_observe_flags); call before benchmark::Initialize.
+/// Removes the flags above from argv (shifting later arguments down and
+/// decrementing argc) and returns the extracted values.  Call before
+/// handing argv to another parser such as benchmark::Initialize.
 HarnessOptions extract_harness_flags(int& argc, char** argv);
 
 /// One scenario run: the engine to drive plus sinks for results.

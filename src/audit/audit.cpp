@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "trace/flight.hpp"
 #include "trace/trace.hpp"
 
 namespace dcs::audit {
@@ -209,7 +210,18 @@ void Auditor::report(const char* checker, std::string message) {
   if (!seen) {
     reports_.push_back(Report{checker, message, eng_.now()});
   }
-  if (config_.on_violation == OnViolation::kThrow) {
+  // The flight recorder sees every violation regardless of mode (the ring
+  // record is free context for whatever dump comes later); kPostmortem
+  // additionally snapshots a dump now, before the throw unwinds the
+  // faulting strand and the context evaporates.
+  if (auto* flight = trace::FlightRecorder::current()) {
+    flight->violation(checker);
+    if (config_.on_violation == OnViolation::kPostmortem) {
+      flight->trip("audit-violation",
+                   std::string("audit[") + checker + "]: " + message);
+    }
+  }
+  if (config_.on_violation != OnViolation::kCount) {
     throw AuditError(std::string("audit[") + checker + "]: " +
                      std::move(message));
   }

@@ -68,6 +68,10 @@ const char* to_string(AccessKind kind);
 enum class OnViolation : std::uint8_t {
   kThrow,  // raise AuditError at the faulting operation (tests)
   kCount,  // record + count in trace::Registry, keep running (benches)
+  /// As kThrow, but first trip the installed trace::FlightRecorder so the
+  /// violation leaves a dcs-postmortem-v1 dump behind (post-mortem
+  /// debugging of seeded races; no-op without a recorder installed).
+  kPostmortem,
 };
 
 /// Raised at the faulting operation when on_violation == kThrow.

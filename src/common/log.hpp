@@ -17,14 +17,17 @@ void vlog_line(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 }
 
-#define DCS_LOG(level, ...)                                          \
+// Printf-style human logging.  The structured DCS_LOG(...) macro that feeds
+// the flight recorder lives in trace/trace.hpp; these formatted variants
+// keep the F suffix to stay out of its way.
+#define DCS_LOGF(level, ...)                                         \
   do {                                                               \
     if (static_cast<int>(level) <= static_cast<int>(::dcs::log_level())) \
       ::dcs::detail::vlog_line(level, __VA_ARGS__);                  \
   } while (false)
 
-#define DCS_LOG_INFO(...) DCS_LOG(::dcs::LogLevel::kInfo, __VA_ARGS__)
-#define DCS_LOG_DEBUG(...) DCS_LOG(::dcs::LogLevel::kDebug, __VA_ARGS__)
-#define DCS_LOG_TRACE(...) DCS_LOG(::dcs::LogLevel::kTrace, __VA_ARGS__)
+#define DCS_LOGF_INFO(...) DCS_LOGF(::dcs::LogLevel::kInfo, __VA_ARGS__)
+#define DCS_LOGF_DEBUG(...) DCS_LOGF(::dcs::LogLevel::kDebug, __VA_ARGS__)
+#define DCS_LOGF_TRACE(...) DCS_LOGF(::dcs::LogLevel::kTrace, __VA_ARGS__)
 
 }  // namespace dcs

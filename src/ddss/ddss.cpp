@@ -114,6 +114,7 @@ NodeId Ddss::pick_home(NodeId requester, Placement placement,
         auto& mem = net_.fabric().node(cand).memory();
         if (mem.capacity() - mem.used() >= bytes) return cand;
       }
+      DCS_LOG("ddss", "alloc_fail.no_remote_room", requester, bytes);
       throw DdssError("no remote node has room");
     }
     case Placement::kRoundRobin:
@@ -225,6 +226,7 @@ sim::Task<Allocation> Client::allocate(std::size_t size, Coherence coherence,
   verbs::Message reply = co_await hca.recv(reply_tag);
   verbs::Decoder dec(reply.payload);
   if (dec.u8() == 0) {
+    DCS_LOG("ddss", "alloc_fail.home_exhausted", node_, home);
     throw DdssError("allocation failed: home node out of registered memory");
   }
   Allocation alloc;
@@ -455,7 +457,10 @@ sim::Task<void> Client::get_delta(const Allocation& alloc, std::size_t age,
   std::byte head_img[8];
   co_await hca.read(alloc.meta, MetaLayout::kDeltaHead, head_img);
   const auto head = verbs::load_u64(head_img, 0);
-  if (head == 0) throw DdssError("delta get before first put");
+  if (head == 0) {
+    DCS_LOG("ddss", "delta_get.empty", node_, alloc.meta.rkey);
+    throw DdssError("delta get before first put");
+  }
   DCS_CHECK_MSG(age < head, "delta age older than history");
   const std::size_t slot =
       (head - 1 - age) % ddss_.config_.delta_versions;

@@ -107,6 +107,7 @@ sim::Task<void> NcosedLockManager::lock_shared_impl(NodeId self, LockId id) {
   const std::uint32_t tail = tail_of(old);
   if (tail == 0) co_return;  // no exclusive ahead of us: granted
   // Queue behind the exclusive tail; it grants us when it releases.
+  DCS_LOG("dlm", "ncosed.queue_shared", self, tail - 1, id);
   co_await hca.send(static_cast<NodeId>(tail - 1), tags::kNcWaitShared + id,
                     verbs::Encoder().u32(self).take());
   (void)co_await hca.recv(tags::kNcGrantShared + id);
@@ -136,7 +137,12 @@ sim::Task<void> NcosedLockManager::lock_exclusive_impl(NodeId self,
 
   if (prev_tail != 0) {
     // Queue behind the previous exclusive; tell it how many shared waiters
-    // its epoch accumulated so it can grant them before handing off.
+    // its epoch accumulated so it can grant them before handing off.  A
+    // holder that never releases leaves this strand parked in the recv
+    // below with no timer — the flight recorder's stall trip is the only
+    // witness (docs/OBSERVABILITY.md walkthrough).
+    DCS_LOG("dlm", "ncosed.queue_excl", self, prev_tail - 1,
+            shared_in_epoch);
     co_await hca.send(static_cast<NodeId>(prev_tail - 1),
                       tags::kNcWaitExcl + id,
                       verbs::Encoder().u32(self).u32(shared_in_epoch).take());
@@ -211,6 +217,7 @@ sim::Task<void> NcosedLockManager::unlock_exclusive_impl(NodeId self,
     const NodeId successor = dec.u32();
     const std::uint32_t owed_shared = dec.u32();
     metrics().handoffs.add();
+    DCS_LOG("dlm", "ncosed.handoff", self, successor, owed_shared);
     if (auto* a = audit::Auditor::current()) {
       a->lock_handoff(this, "ncosed", id, self, successor);
     }
@@ -241,6 +248,7 @@ sim::Task<void> NcosedLockManager::unlock_exclusive_impl(NodeId self,
     verbs::Decoder dec(msg.payload);
     const NodeId successor = dec.u32();
     const std::uint32_t owed_shared = dec.u32();
+    DCS_LOG("dlm", "ncosed.handoff", self, successor, owed_shared);
     if (auto* a = audit::Auditor::current()) {
       a->lock_handoff(this, "ncosed", id, self, successor);
     }

@@ -1,0 +1,61 @@
+// Per-request deadline watchdog, driven by the monitor layer's load signal.
+//
+// A fixed deadline misfires under load: requests legitimately slow down
+// when the run queues are deep, and a watchdog that cannot tell "slow
+// because busy" from "wedged" cries wolf.  This watchdog dogfoods the
+// paper's monitoring scheme as the alert source: every patrol tick it asks
+// the ResourceMonitor (ideally e-RDMA-Sync, which blends run-queue length
+// with CPU-utilization deltas at zero target-CPU cost) for the worst load
+// estimate across its targets, stretches the base deadline by it, and only
+// then sweeps the flight recorder's in-flight request table.  A request
+// older than the load-adjusted deadline trips a `deadline` post-mortem
+// dump (once per request; the dump carries the ring context, the request's
+// partial critical path, and the engine state needed to debug the wedge).
+//
+// Everything is virtual-time deterministic: same seed, same sweeps, same
+// load estimates, byte-identical dumps.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "monitor/monitor.hpp"
+#include "trace/flight.hpp"
+
+namespace dcs::monitor {
+
+struct WatchdogConfig {
+  /// Patrol period (virtual time).
+  SimNanos interval = milliseconds(5);
+  /// Base per-request deadline at zero load.
+  SimNanos deadline = milliseconds(25);
+  /// Deadline stretch per unit of load estimate: the effective deadline is
+  /// deadline * (1 + load_slack * max_target_load).
+  double load_slack = 1.0;
+};
+
+class DeadlineWatchdog {
+ public:
+  DeadlineWatchdog(ResourceMonitor& monitor, trace::FlightRecorder& flight,
+                   WatchdogConfig config = {});
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+  /// The patrol strand; spawn it on the recorder's engine.  Returns when
+  /// the virtual clock reaches `until` (the watchdog must not keep an
+  /// otherwise-finished run alive forever).
+  sim::Task<void> run(SimNanos until);
+
+  std::uint64_t sweeps() const { return sweeps_; }
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  ResourceMonitor& mon_;
+  trace::FlightRecorder& flight_;
+  WatchdogConfig config_;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t trips_ = 0;
+  std::set<std::uint64_t> tripped_;  // requests already dumped
+};
+
+}  // namespace dcs::monitor

@@ -183,6 +183,7 @@ void Engine::run_until(Time t) {
   // One sample per run: dispatching costs a single (predictable) branch on
   // this pointer instead of a hook check per callback site.
   AuditHook* const hook = audit_hook();
+  StallHook* const stall = stall_hook();
   if (hook != nullptr) hook->on_run_start();
   // If now_ already passed the bound, every pending entry does too (nothing
   // is ever scheduled into the past), so the loop is skipped outright; inside
@@ -208,6 +209,12 @@ void Engine::run_until(Time t) {
       } else if (timer_count_ != 0) {
         if (next_timer_ > t) break;
         const TimerEntry e = timer_pop();
+        // Ready ring empty and the next timer far away: the clock is about
+        // to leap.  Only this rare time-advancing branch pays the check, so
+        // the same-time dispatch fast paths stay untouched.
+        if (stall != nullptr && e.t - now_ > stall->stall_horizon()) {
+          stall->on_time_jump(now_, e.t);
+        }
         now_ = e.t;
         h = e.h;
         seq = e.seq;
@@ -225,6 +232,13 @@ void Engine::run_until(Time t) {
     }
   }
   strand_ctx() = caller_ctx;
+  // An unbounded run that drained every queue with root processes still
+  // alive is deadlocked: the parked strands can never be woken again.
+  // Bounded runs exit with parked roots routinely, so only t == forever
+  // counts.
+  if (stall != nullptr && !stopped_ && t == kNever && root_count_ > 0) {
+    stall->on_wedged(root_count_);
+  }
   // Virtual time passes up to the bound even if no event lands exactly on it
   // (unless the loop was stopped early or drained an unbounded run).
   if (!stopped_ && now_ < t && t != ~Time{0}) now_ = t;

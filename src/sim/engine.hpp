@@ -41,6 +41,7 @@
 #include "common/check.hpp"
 #include "common/units.hpp"
 #include "sim/audit_hook.hpp"
+#include "sim/stall_hook.hpp"
 #include "sim/strand.hpp"
 #include "sim/task.hpp"
 
@@ -97,6 +98,13 @@ class Engine {
   /// dispatched the same events in the same order have the same value;
   /// cheap enough to mix unconditionally on every dispatch.
   std::uint64_t dispatch_fingerprint() const { return fingerprint_; }
+
+  // Dispatch-structure occupancy, exposed for post-mortem engine-state
+  // snapshots (src/trace/flight).  All O(1).
+  std::size_t ready_ring_size() const { return ring_size_; }
+  std::size_t wheel_timer_count() const { return wheel_count_; }
+  std::size_t overflow_timer_count() const { return overflow_.size(); }
+  std::size_t pending_timer_count() const { return timer_count_; }
 
   /// Awaitable: suspend for `d` nanoseconds of virtual time.
   auto delay(Time d) {

@@ -69,6 +69,8 @@ sim::Task<void> CreditStream::send(std::size_t bytes) {
   DCS_TRACE_SPAN("sockets", "flowctl.send", src_, bytes, "credit");
   if (credits_.available() == 0) {
     flow_metrics().stalls.add();
+    DCS_LOG("sockets", "flowctl.credit_stall", src_, bytes,
+            config_.num_buffers);
     DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
                         "flowctl.credit_stall", src_, bytes);
     co_await credits_.acquire();
@@ -118,6 +120,8 @@ sim::Task<void> PacketizedStream::flush() {
 sim::Task<void> PacketizedStream::ship(std::size_t filled) {
   if (credits_.available() == 0) {
     flow_metrics().stalls.add();
+    DCS_LOG("sockets", "flowctl.credit_stall", src_, filled,
+            config_.num_buffers);
     DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
                         "flowctl.credit_stall", src_, filled);
     co_await credits_.acquire();

@@ -95,6 +95,7 @@ sim::Task<void> SdpStream::send_buffered(std::vector<std::byte> payload) {
     // messages larger than (credits x buffer) still make progress.
     if (credits_.available() == 0) {
       metrics().credit_stalls.add();
+      DCS_LOG("sockets", "sdp.credit_stall", src_, this_chunk, i);
       DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
                           "sdp.credit_stall", src_, this_chunk);
       co_await credits_.acquire();
@@ -167,6 +168,8 @@ sim::Task<void> SdpStream::send_async_zero_copy(std::vector<std::byte> payload) 
   // a still-protected buffer.
   if (window_.available() == 0) {
     metrics().window_stalls.add();
+    DCS_LOG("sockets", "sdp.window_stall", src_, payload.size(),
+            config_.max_outstanding);
     DCS_TRACE_COST_SPAN(trace::Cost::kCreditStall, "sockets",
                         "sdp.window_stall", src_, payload.size());
     co_await window_.acquire();

@@ -1,38 +1,12 @@
 #include "trace/observe.hpp"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
 #include "trace/critical_path.hpp"
+#include "trace/flight.hpp"
 
 namespace dcs::trace {
-
-namespace {
-
-/// Finds `flag <value>` in argv[1..], removes both, returns the value.
-std::string take_flag(int& argc, char** argv, const char* flag) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) != 0) continue;
-    std::string value = argv[i + 1];
-    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-    argc -= 2;
-    argv[argc] = nullptr;
-    return value;
-  }
-  return {};
-}
-
-}  // namespace
-
-ObserveOptions extract_observe_flags(int& argc, char** argv) {
-  ObserveOptions opts;
-  opts.trace_out = take_flag(argc, argv, "--trace-out");
-  opts.metrics_out = take_flag(argc, argv, "--metrics-out");
-  opts.critical_path_out = take_flag(argc, argv, "--critical-path");
-  opts.bench_json = take_flag(argc, argv, "--bench-json");
-  return opts;
-}
 
 ObservedRun::ObservedRun(sim::Engine& eng, ObserveOptions opts)
     : opts_(std::move(opts)), tracer_(eng) {
@@ -43,9 +17,16 @@ ObservedRun::ObservedRun(sim::Engine& eng, ObserveOptions opts)
       !opts_.bench_json.empty()) {
     tracer_.install();
   }
+  if (!opts_.postmortem_dir.empty()) {
+    flight_ = std::make_unique<FlightRecorder>(
+        eng, FlightConfig{.postmortem_dir = opts_.postmortem_dir,
+                          .prefix = opts_.bench_name});
+    flight_->install();
+  }
 }
 
 ObservedRun::~ObservedRun() {
+  if (flight_ != nullptr) flight_->uninstall();
   tracer_.uninstall();
   if (!opts_.trace_out.empty()) {
     std::ofstream os(opts_.trace_out);

@@ -1,14 +1,20 @@
-// CLI glue for the observability layer: `--trace-out` / `--metrics-out`
-// flag handling and an RAII scope that installs a tracer for a run and
+// RAII scope for one observed run: installs the requested observability
+// sinks (tracer, flight recorder) for the duration of a simulation and
 // writes the requested files when the run ends.  Shared by the benches and
 // the `dcs` scenario driver so every binary spells the flags the same way.
+// Flag extraction itself lives in bench/harness.hpp
+// (bench::extract_harness_flags), the single parser for all observability
+// and telemetry flags.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "trace/trace.hpp"
 
 namespace dcs::trace {
+
+class FlightRecorder;
 
 /// Output destinations for one observed run.  Empty string = not requested.
 struct ObserveOptions {
@@ -16,25 +22,22 @@ struct ObserveOptions {
   std::string metrics_out;        // plain-text metrics dump file
   std::string critical_path_out;  // plain-text critical-path report
   std::string bench_json;         // single-run dcs-bench-v1 JSON snapshot
-  std::string bench_name = "dcs";  // "bench" field of the JSON snapshot
+  std::string postmortem_dir;     // arm a FlightRecorder dumping here
+  std::string bench_name = "dcs";  // "bench" field / postmortem prefix
 
   bool enabled() const {
     return !trace_out.empty() || !metrics_out.empty() ||
-           !critical_path_out.empty() || !bench_json.empty();
+           !critical_path_out.empty() || !bench_json.empty() ||
+           !postmortem_dir.empty();
   }
 };
 
-/// Removes `--trace-out <file>`, `--metrics-out <file>`, `--critical-path
-/// <file>` and `--bench-json <file>` from argv (shifting later arguments
-/// down and decrementing argc) and returns the extracted values.  Call
-/// before handing argv to another parser such as benchmark::Initialize.
-ObserveOptions extract_observe_flags(int& argc, char** argv);
-
 /// Observes one simulation run.  Construction resets the global metrics
-/// registry (so the output stands alone) and, when a trace file was
-/// requested, installs a tracer bound to `eng`.  Destruction uninstalls
-/// the tracer and writes the requested files; failures to open a file are
-/// reported on stderr but never abort the run.
+/// registry (so the output stands alone), installs a tracer bound to `eng`
+/// when a trace file was requested, and arms a FlightRecorder when a
+/// post-mortem directory was requested.  Destruction uninstalls both and
+/// writes the requested files; failures to open a file are reported on
+/// stderr but never abort the run.
 ///
 /// Declare it after the engine and before the workload:
 ///
@@ -51,6 +54,7 @@ class ObservedRun {
  private:
   ObserveOptions opts_;
   Tracer tracer_;
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 }  // namespace dcs::trace

@@ -12,8 +12,6 @@ namespace dcs::trace {
 
 namespace {
 
-Tracer* g_current_tracer = nullptr;
-
 /// Fixed-precision double formatting so writer output is byte-stable.
 std::string fmt_f3(double v) {
   char buf[64];
@@ -213,21 +211,23 @@ const char* to_string(Cost c) {
   return "?";
 }
 
-Tracer::~Tracer() {
-  if (g_current_tracer == this) g_current_tracer = nullptr;
-}
+Tracer::~Tracer() { uninstall(); }
 
 void Tracer::install() {
-  DCS_CHECK_MSG(g_current_tracer == nullptr || g_current_tracer == this,
+  auto& s = detail::sinks();
+  DCS_CHECK_MSG(s.tracer == nullptr || s.tracer == this,
                 "another tracer is already installed");
-  g_current_tracer = this;
+  s.tracer = this;
+  s.any = true;
 }
 
 void Tracer::uninstall() {
-  if (g_current_tracer == this) g_current_tracer = nullptr;
+  auto& s = detail::sinks();
+  if (s.tracer == this) {
+    s.tracer = nullptr;
+    s.any = s.flight != nullptr;
+  }
 }
-
-Tracer* current_tracer() { return g_current_tracer; }
 
 void Tracer::instant(const char* category, const char* name,
                      std::uint32_t node, std::uint64_t id,

@@ -217,9 +217,59 @@ class Tracer {
   std::uint64_t last_span_id_ = 0;
 };
 
+class FlightRecorder;
+
+namespace detail {
+
+/// The two record sinks an instrumentation site can feed: the full tracer
+/// (unbounded event vector, Chrome JSON) and the flight recorder (bounded
+/// per-node rings, post-mortem dumps — src/trace/flight.hpp).  Either, both
+/// or neither may be installed; `any` is kept equal to (tracer || flight)
+/// by the install/uninstall paths so the disarmed gate stays one load and
+/// one predictable branch.
+struct Sinks {
+  Tracer* tracer = nullptr;
+  FlightRecorder* flight = nullptr;
+  bool any = false;
+};
+
+inline Sinks& sinks() {
+  static Sinks instance;
+  return instance;
+}
+
+inline bool armed() { return sinks().any; }
+
+// Flight-recorder forwarding, out of line so this header does not need the
+// FlightRecorder definition (defined in flight.cpp).
+SimNanos flight_now(FlightRecorder* fr);
+std::uint64_t flight_next_request(FlightRecorder* fr);
+std::uint64_t flight_next_span(FlightRecorder* fr);
+void flight_span(FlightRecorder* fr, const TraceEvent& ev);
+void flight_request_begin(FlightRecorder* fr, std::uint64_t request,
+                          const char* name, std::uint32_t node,
+                          std::uint64_t id);
+void flight_request_end(FlightRecorder* fr, std::uint64_t request,
+                        const char* name, std::uint32_t node,
+                        std::uint64_t id);
+/// Fan-out bodies of DCS_TRACE_INSTANT / DCS_LOG once armed() passed.
+void emit_instant(const char* category, const char* name, std::uint32_t node,
+                  std::uint64_t id = 0, const char* detail = nullptr);
+void emit_log(const char* layer, const char* opcode, std::uint32_t node,
+              std::uint64_t a0 = 0, std::uint64_t a1 = 0);
+
+/// Virtual time as seen by whichever sink is installed (both are bound to
+/// the same engine when both are installed).
+inline SimNanos observed_now() {
+  Sinks& s = sinks();
+  return s.tracer != nullptr ? s.tracer->now() : flight_now(s.flight);
+}
+
+}  // namespace detail
+
 /// The installed tracer, or nullptr (the one-branch gate every
 /// instrumentation site tests).
-Tracer* current_tracer();
+inline Tracer* current_tracer() { return detail::sinks().tracer; }
 
 /// RAII span: records start time at construction, emits a complete event
 /// at destruction.  Lives in a coroutine frame across co_awaits.  When no
@@ -233,19 +283,22 @@ class Span {
   Span(const char* category, const char* name, std::uint32_t node,
        std::uint64_t id = 0, const char* detail = nullptr,
        Cost cost = Cost::kNone) {
-    if (Tracer* t = current_tracer()) {
-      tracer_ = t;
+    if (detail::armed()) {
+      auto& s = detail::sinks();
+      tracer_ = s.tracer;
+      flight_ = s.flight;
       category_ = category;
       name_ = name;
       detail_ = detail;
       id_ = id;
       node_ = node;
       cost_ = cost;
-      start_ = t->now();
+      start_ = detail::observed_now();
       auto& ctx = sim::strand_ctx();
       request_ = ctx.request;
       parent_ = ctx.span;
-      span_ = t->next_span_id();
+      span_ = tracer_ != nullptr ? tracer_->next_span_id()
+                                 : detail::flight_next_span(flight_);
       ctx.span = span_;
     }
   }
@@ -255,30 +308,34 @@ class Span {
       : Span(category, name, node, id, detail, cost) {}
   ~Span() {
     // Re-check installation: a span parked in a coroutine frame may be
-    // destroyed at engine teardown, after the tracer was uninstalled.
-    if (tracer_ != nullptr && tracer_ == current_tracer()) {
-      sim::strand_ctx().span = parent_;
-      TraceEvent ev;
-      ev.category = category_;
-      ev.name = name_;
-      ev.detail = detail_;
-      ev.id = id_;
-      ev.start = start_;
-      ev.end = tracer_->now();
-      ev.request = request_;
-      ev.span = span_;
-      ev.parent = parent_;
-      ev.node = node_;
-      ev.cost = cost_;
-      ev.phase = 'X';
-      tracer_->record(ev);
-    }
+    // destroyed at engine teardown, after the sinks were uninstalled.
+    auto& s = detail::sinks();
+    const bool traced = tracer_ != nullptr && tracer_ == s.tracer;
+    const bool recorded = flight_ != nullptr && flight_ == s.flight;
+    if (!traced && !recorded) return;
+    sim::strand_ctx().span = parent_;
+    TraceEvent ev;
+    ev.category = category_;
+    ev.name = name_;
+    ev.detail = detail_;
+    ev.id = id_;
+    ev.start = start_;
+    ev.end = detail::observed_now();
+    ev.request = request_;
+    ev.span = span_;
+    ev.parent = parent_;
+    ev.node = node_;
+    ev.cost = cost_;
+    ev.phase = 'X';
+    if (traced) tracer_->record(ev);
+    if (recorded) detail::flight_span(flight_, ev);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
   Tracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   const char* category_ = "";
   const char* name_ = "";
   const char* detail_ = nullptr;
@@ -305,20 +362,32 @@ inline std::uint64_t current_request() { return sim::strand_ctx().request; }
 class Request {
  public:
   Request(const char* name, std::uint32_t node, std::uint64_t id = 0) {
-    if (Tracer* t = current_tracer()) {
-      tracer_ = t;
+    if (detail::armed()) {
+      auto& s = detail::sinks();
+      tracer_ = s.tracer;
+      flight_ = s.flight;
       name_ = name;
       node_ = node;
       id_ = id;
-      start_ = t->now();
+      start_ = detail::observed_now();
       prev_ = sim::strand_ctx();
-      request_ = t->next_request_id();
+      // The tracer owns request-id allocation when present so both sinks
+      // agree on ids; flight-only runs allocate from the recorder.
+      request_ = tracer_ != nullptr ? tracer_->next_request_id()
+                                    : detail::flight_next_request(flight_);
       sim::strand_ctx() = {request_, 0};
+      if (flight_ != nullptr) {
+        detail::flight_request_begin(flight_, request_, name_, node_, id_);
+      }
     }
   }
   ~Request() {
-    if (tracer_ != nullptr && tracer_ == current_tracer()) {
-      sim::strand_ctx() = prev_;
+    auto& s = detail::sinks();
+    const bool traced = tracer_ != nullptr && tracer_ == s.tracer;
+    const bool recorded = flight_ != nullptr && flight_ == s.flight;
+    if (!traced && !recorded) return;
+    sim::strand_ctx() = prev_;
+    if (traced) {
       TraceEvent ev;
       ev.category = "request";
       ev.name = name_;
@@ -330,15 +399,19 @@ class Request {
       ev.phase = 'R';
       tracer_->record(ev);
     }
+    if (recorded) {
+      detail::flight_request_end(flight_, request_, name_, node_, id_);
+    }
   }
   Request(const Request&) = delete;
   Request& operator=(const Request&) = delete;
 
-  /// 0 when no tracer is installed.
+  /// 0 when neither a tracer nor a flight recorder is installed.
   std::uint64_t id() const { return request_; }
 
  private:
   Tracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   const char* name_ = "";
   std::uint64_t id_ = 0;
   std::uint64_t request_ = 0;
@@ -354,7 +427,7 @@ class Request {
 class AdoptContext {
  public:
   explicit AdoptContext(std::uint64_t request) {
-    if (request != 0 && current_tracer() != nullptr) {
+    if (request != 0 && detail::armed()) {
       adopted_ = true;
       prev_ = sim::strand_ctx();
       sim::strand_ctx() = {request, 0};
@@ -396,13 +469,26 @@ class AdoptContext {
 /// Zero-duration marker at the current virtual time.
 #define DCS_TRACE_INSTANT(category, name, node, ...)              \
   do {                                                            \
-    if (auto* dcs_trace_t = ::dcs::trace::current_tracer()) {     \
-      dcs_trace_t->instant(category, name,                        \
-                           node __VA_OPT__(, ) __VA_ARGS__);      \
+    if (::dcs::trace::detail::armed()) {                          \
+      ::dcs::trace::detail::emit_instant(                         \
+          category, name, node __VA_OPT__(, ) __VA_ARGS__);       \
+    }                                                             \
+  } while (0)
+/// Structured log record: layer and opcode string literals plus up to two
+/// integer arguments, stamped with virtual time and the current request.
+/// Feeds the flight recorder's bounded per-node ring (and, when a tracer is
+/// installed, the trace as an instant).  Meant for error and stall paths:
+/// the records survive in the ring until a post-mortem dump needs them.
+#define DCS_LOG(layer, opcode, node, ...)                         \
+  do {                                                            \
+    if (::dcs::trace::detail::armed()) {                          \
+      ::dcs::trace::detail::emit_log(                             \
+          layer, opcode, node __VA_OPT__(, ) __VA_ARGS__);        \
     }                                                             \
   } while (0)
 #else
 #define DCS_TRACE_SPAN(category, name, node, ...) ((void)0)
 #define DCS_TRACE_COST_SPAN(cost, category, name, node, ...) ((void)0)
 #define DCS_TRACE_INSTANT(category, name, node, ...) ((void)0)
+#define DCS_LOG(layer, opcode, node, ...) ((void)0)
 #endif

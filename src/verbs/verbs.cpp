@@ -91,12 +91,15 @@ std::span<std::byte> Hca::resolve(std::uint32_t rkey, std::size_t offset,
     // valid and has since been deregistered (use-after-deregister).
     if (auto* a = audit::Auditor::current();
         a != nullptr && a->on_unknown_rkey(node_, rkey, site)) {
+      DCS_LOG("verbs", "access_error.deregistered", node_, rkey, offset);
       throw RemoteAccessError("remote access error: deregistered rkey");
     }
+    DCS_LOG("verbs", "access_error.unknown_rkey", node_, rkey, offset);
     throw RemoteAccessError("remote access error: unknown rkey");
   }
   const auto& reg = it->second;
   if (offset + len > reg.len || offset + len < offset) {
+    DCS_LOG("verbs", "access_error.bounds", node_, rkey, offset);
     throw RemoteAccessError("remote access error: out of registered bounds");
   }
   if (auto* a = audit::Auditor::current()) {
@@ -220,6 +223,9 @@ sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
                             audit::AccessKind::kAtomic, "verbs.cas");
   std::uint64_t old = 0;
   std::memcpy(&old, bytes.data(), 8);
+  // Records on the *target* node under the initiator's request context, so
+  // a post-mortem timeline shows the request touching the remote lock word.
+  DCS_LOG("verbs", "cas.execute", target.node, old, swap);
   if (old == compare) {
     std::memcpy(bytes.data(), &swap, 8);
   }
@@ -263,6 +269,7 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
   std::uint64_t old = 0;
   std::memcpy(&old, bytes.data(), 8);
   const std::uint64_t updated = old + add;
+  DCS_LOG("verbs", "faa.execute", target.node, old, add);
   std::memcpy(bytes.data(), &updated, 8);
   co_await fab_.wire_transfer(target.node, node_,
                               fabric::FabricParams::kControlBytes);

@@ -43,9 +43,14 @@ class Encoder {
   std::size_t size() const { return buf_.size(); }
 
  private:
+  // resize + memcpy rather than a range insert: GCC's object-size tracking
+  // misjudges insert's growth memmove at some inlining depths and flags a
+  // spurious stringop-overflow under -Werror.
   Encoder& raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::byte*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    if (n == 0) return *this;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
     return *this;
   }
   std::vector<std::byte> buf_;
@@ -68,8 +73,11 @@ class Decoder {
   std::vector<std::byte> bytes() {
     const auto n = u32();
     require(n, "byte-array body");
-    std::vector<std::byte> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    // sized-construct + memcpy rather than the iterator-pair constructor:
+    // GCC cannot see that require() bounds n and flags a spurious
+    // array-bounds error under -Werror at some inlining depths.
+    std::vector<std::byte> b(n);
+    if (n > 0) std::memcpy(b.data(), data_.data() + pos_, n);
     pos_ += n;
     return b;
   }

@@ -64,8 +64,8 @@ TEST_P(AuditAllSchemes, DirectoryConsistentAfterNodeDrop) {
 INSTANTIATE_TEST_SUITE_P(Schemes, AuditAllSchemes,
                          ::testing::Values(Scheme::kBCC, Scheme::kCCWR,
                                            Scheme::kMTACC, Scheme::kHYBCC),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(CacheAuditTest, ConcurrentProxiesKeepDirectoryConsistent) {

@@ -137,15 +137,9 @@ TEST(CoopCacheTest, CcwrKeepsSingleCopyClusterWide) {
   (void)w.request(1, 5);
   (void)w.request(2, 5);
   (void)w.request(1, 5);
-  // Exactly one cached copy exists across all caching nodes.
-  int copies = 0;
-  for (NodeId n : {1, 2, 3, 4}) {
-    sim::Engine probe;  // silence unused warnings; direct store check below
-    (void)probe;
-    copies += 0;
-  }
-  // Count via hit statistics: after the initial miss, everything is a hit
-  // and at most one node can hit locally.
+  // Exactly one cached copy exists across all caching nodes.  Count via hit
+  // statistics: after the initial miss, everything is a hit and at most one
+  // node can hit locally.
   EXPECT_EQ(w.cache.stats().misses, 1u);
   EXPECT_EQ(w.cache.stats().local_hits + w.cache.stats().remote_hits, 2u);
 }

@@ -100,9 +100,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SeqCase{Coherence::kStrict, 2},
                       SeqCase{Coherence::kVersion, 2},
                       SeqCase{Coherence::kNull, 3}),
-    [](const auto& info) {
-      return std::string(to_string(info.param.model)) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const auto& param_info) {
+      return std::string(to_string(param_info.param.model)) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 // --- Version monotonicity under concurrent writers -------------------------

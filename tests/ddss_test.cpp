@@ -147,7 +147,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Coherence::kNull, Coherence::kRead, Coherence::kWrite,
                       Coherence::kStrict, Coherence::kVersion,
                       Coherence::kDelta, Coherence::kTemporal),
-    [](const auto& info) { return to_string(info.param); });
+    [](const auto& param_info) { return to_string(param_info.param); });
 
 TEST_F(DdssFixture, VersionBumpsOnEveryPut) {
   std::uint64_t v = 0;

@@ -129,8 +129,8 @@ TEST_P(MultiLock, EveryWaiterEventuallyGranted) {
 INSTANTIATE_TEST_SUITE_P(Schemes, MultiLock,
                          ::testing::Values(Scheme::kSrsl, Scheme::kDqnl,
                                            Scheme::kNcosed),
-                         [](const auto& info) {
-                           return scheme_name(info.param);
+                         [](const auto& param_info) {
+                           return scheme_name(param_info.param);
                          });
 
 TEST(MultiLockNcosed, ReaderBatchesBetweenWriters) {

@@ -114,8 +114,8 @@ TEST_P(DlmAllSchemes, IndependentLocksDoNotInterfere) {
 INSTANTIATE_TEST_SUITE_P(Schemes, DlmAllSchemes,
                          ::testing::Values(Scheme::kSrsl, Scheme::kDqnl,
                                            Scheme::kNcosed),
-                         [](const auto& info) {
-                           return scheme_name(info.param);
+                         [](const auto& param_info) {
+                           return scheme_name(param_info.param);
                          });
 
 TEST_P(DlmSharedSchemes, SharedHoldersOverlap) {
@@ -187,8 +187,8 @@ TEST_P(DlmSharedSchemes, ExclusiveWaitsForAllSharedHolders) {
 
 INSTANTIATE_TEST_SUITE_P(Schemes, DlmSharedSchemes,
                          ::testing::Values(Scheme::kSrsl, Scheme::kNcosed),
-                         [](const auto& info) {
-                           return scheme_name(info.param);
+                         [](const auto& param_info) {
+                           return scheme_name(param_info.param);
                          });
 
 TEST(DlmDqnlTest, SharedRequestsSerializeLikeExclusive) {
@@ -402,9 +402,9 @@ INSTANTIATE_TEST_SUITE_P(
                       StressCase{Scheme::kNcosed, 2},
                       StressCase{Scheme::kNcosed, 3},
                       StressCase{Scheme::kDqnl, 1}),
-    [](const auto& info) {
-      return std::string(scheme_name(info.param.scheme)) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const auto& param_info) {
+      return std::string(scheme_name(param_info.param.scheme)) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace

@@ -63,8 +63,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MonScheme::kSocketSync, MonScheme::kSocketAsync,
                       MonScheme::kRdmaSync, MonScheme::kRdmaAsync,
                       MonScheme::kERdmaSync),
-    [](const auto& info) {
-      std::string name = to_string(info.param);
+    [](const auto& param_info) {
+      std::string name = to_string(param_info.param);
       std::erase_if(name, [](char c) { return !std::isalnum(c); });
       return name;
     });

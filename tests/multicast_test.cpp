@@ -74,19 +74,19 @@ TEST_F(McFixture, LatencyFlatInGroupSize) {
   // Switch-level replication: delivering to 5 members must cost about the
   // same as delivering to 1 (unlike a unicast fan-out loop).
   auto mc_time = [](std::size_t members) {
-    sim::Engine eng;
-    fabric::Fabric fab(eng, fabric::FabricParams{}, {.num_nodes = 6});
-    verbs::Network net(fab);
+    sim::Engine eng3;
+    fabric::Fabric fab3(eng3, fabric::FabricParams{}, {.num_nodes = 6});
+    verbs::Network net3(fab3);
     std::vector<fabric::NodeId> group;
     for (std::size_t m = 1; m <= members; ++m) {
       group.push_back(static_cast<fabric::NodeId>(m));
     }
-    eng.spawn([](verbs::Network& n, std::vector<fabric::NodeId> g)
-                  -> sim::Task<void> {
+    eng3.spawn([](verbs::Network& n, std::vector<fabric::NodeId> g)
+                   -> sim::Task<void> {
       co_await n.hca(0).multicast(g, 5, std::vector<std::byte>(4096));
-    }(net, std::move(group)));
-    eng.run();
-    return eng.now();
+    }(net3, std::move(group)));
+    eng3.run();
+    return eng3.now();
   };
   EXPECT_EQ(mc_time(1), mc_time(5));
 }

@@ -74,10 +74,10 @@ INSTANTIATE_TEST_SUITE_P(
                       SdpRandomCase{SdpMode::kZeroCopy, 1},
                       SdpRandomCase{SdpMode::kAsyncZeroCopy, 1},
                       SdpRandomCase{SdpMode::kAsyncZeroCopy, 2}),
-    [](const auto& info) {
-      std::string name = to_string(info.param.mode);
+    [](const auto& param_info) {
+      std::string name = to_string(param_info.param.mode);
       std::erase_if(name, [](char c) { return !std::isalnum(c); });
-      return name + "_seed" + std::to_string(info.param.seed);
+      return name + "_seed" + std::to_string(param_info.param.seed);
     });
 
 TEST(TcpPropertyTest, InterleavedDuplexStreamsStayOrdered) {

@@ -162,8 +162,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SdpCase{SdpMode::kBufferedCopy},
                       SdpCase{SdpMode::kZeroCopy},
                       SdpCase{SdpMode::kAsyncZeroCopy}),
-    [](const auto& info) {
-      std::string name = to_string(info.param.mode);
+    [](const auto& param_info) {
+      std::string name = to_string(param_info.param.mode);
       std::erase_if(name, [](char c) { return !std::isalnum(c); });
       return name;
     });

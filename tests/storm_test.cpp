@@ -75,8 +75,8 @@ TEST_P(StormBothPlanes, BackToBackQueriesWork) {
 INSTANTIATE_TEST_SUITE_P(Planes, StormBothPlanes,
                          ::testing::Values(ControlPlane::kSockets,
                                            ControlPlane::kDdss),
-                         [](const auto& info) {
-                           std::string name = to_string(info.param);
+                         [](const auto& param_info) {
+                           std::string name = to_string(param_info.param);
                            std::erase_if(name, [](char c) {
                              return !std::isalnum(c);
                            });

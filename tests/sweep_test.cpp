@@ -69,9 +69,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::size_t{2048},
                                          std::size_t{16384},
                                          std::size_t{65536})),
-    [](const auto& info) {
-      return std::string(cache::to_string(std::get<0>(info.param))) + "_" +
-             std::to_string(std::get<1>(info.param) / 1024) + "k";
+    [](const auto& param_info) {
+      return std::string(cache::to_string(std::get<0>(param_info.param))) + "_" +
+             std::to_string(std::get<1>(param_info.param) / 1024) + "k";
     });
 
 // --- lock cascade invariants across schemes x waiter counts -----------------
@@ -142,9 +142,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(LockScheme::kSrsl, LockScheme::kDqnl,
                                          LockScheme::kNcosed),
                        ::testing::Values(1, 3, 7, 15)),
-    [](const auto& info) {
-      return std::string(lock_scheme_name(std::get<0>(info.param))) + "_w" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return std::string(lock_scheme_name(std::get<0>(param_info.param))) + "_w" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 // --- STORM record-count sweep ------------------------------------------------
@@ -183,10 +183,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::uint64_t{999},
                                          std::uint64_t{4096},
                                          std::uint64_t{50001})),
-    [](const auto& info) {
-      std::string name = storm::to_string(std::get<0>(info.param));
+    [](const auto& param_info) {
+      std::string name = storm::to_string(std::get<0>(param_info.param));
       std::erase_if(name, [](char c) { return !std::isalnum(c); });
-      return name + "_" + std::to_string(std::get<1>(info.param));
+      return name + "_" + std::to_string(std::get<1>(param_info.param));
     });
 
 // --- monitor scheme x load-level matrix --------------------------------------
@@ -231,10 +231,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          monitor::MonScheme::kRdmaAsync,
                                          monitor::MonScheme::kERdmaSync),
                        ::testing::Values(0, 2, 6)),
-    [](const auto& info) {
-      std::string name = monitor::to_string(std::get<0>(info.param));
+    [](const auto& param_info) {
+      std::string name = monitor::to_string(std::get<0>(param_info.param));
       std::erase_if(name, [](char c) { return !std::isalnum(c); });
-      return name + "_j" + std::to_string(std::get<1>(info.param));
+      return name + "_j" + std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

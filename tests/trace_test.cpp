@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness.hpp"
 #include "sockets/sdp.hpp"
 #include "trace/critical_path.hpp"
 #include "trace/observe.hpp"
@@ -138,7 +139,7 @@ TEST(TracerTest, RecordsNestedSpansAndInstantsAtVirtualTime) {
   EXPECT_NE(json.str().find("\"ph\":\"i\""), std::string::npos);
 }
 
-// --- CLI flag extraction ---
+// --- CLI flag extraction (bench/harness.hpp, the one parser) ---
 
 TEST(ObserveFlagsTest, ExtractsAndRemovesBothFlags) {
   std::vector<std::string> storage = {"bench",       "--foo",        "--trace-out",
@@ -148,8 +149,9 @@ TEST(ObserveFlagsTest, ExtractsAndRemovesBothFlags) {
   for (auto& s : storage) argv.push_back(s.data());
   argv.push_back(nullptr);
   int argc = static_cast<int>(storage.size());
-  const auto opts = trace::extract_observe_flags(argc, argv.data());
-  EXPECT_TRUE(opts.enabled());
+  const auto opts = bench::extract_harness_flags(argc, argv.data());
+  EXPECT_TRUE(opts.observe_mode());
+  EXPECT_FALSE(opts.harness_mode());
   EXPECT_EQ(opts.trace_out, "t.json");
   EXPECT_EQ(opts.metrics_out, "m.txt");
   ASSERT_EQ(argc, 4);
@@ -166,9 +168,26 @@ TEST(ObserveFlagsTest, AbsentFlagsDisableObservation) {
   for (auto& s : storage) argv.push_back(s.data());
   argv.push_back(nullptr);
   int argc = 2;
-  const auto opts = trace::extract_observe_flags(argc, argv.data());
-  EXPECT_FALSE(opts.enabled());
+  const auto opts = bench::extract_harness_flags(argc, argv.data());
+  EXPECT_FALSE(opts.observe_mode());
+  EXPECT_FALSE(opts.harness_mode());
   EXPECT_EQ(argc, 2);
+}
+
+TEST(ObserveFlagsTest, PostmortemDirRoutesThroughObserveOptions) {
+  std::vector<std::string> storage = {"bench", "--postmortem-dir", "pm"};
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  int argc = static_cast<int>(storage.size());
+  const auto opts = bench::extract_harness_flags(argc, argv.data());
+  EXPECT_TRUE(opts.observe_mode());
+  EXPECT_FALSE(opts.harness_mode());
+  EXPECT_EQ(argc, 1);
+  const auto observe = opts.observe("unit");
+  EXPECT_TRUE(observe.enabled());
+  EXPECT_EQ(observe.postmortem_dir, "pm");
+  EXPECT_EQ(observe.bench_name, "unit");
 }
 
 // --- determinism: the headline guarantee ---

@@ -61,8 +61,8 @@ TEST_P(VerbsSizeSweep, ReadLatencyDominatedByWireForLargeSizes) {
 INSTANTIATE_TEST_SUITE_P(Sizes, VerbsSizeSweep,
                          ::testing::Values(1, 7, 64, 255, 1024, 4096, 16384,
                                            65536, 1048576),
-                         [](const auto& info) {
-                           return "bytes" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "bytes" + std::to_string(param_info.param);
                          });
 
 // --- random concurrent traffic ---------------------------------------------

@@ -31,18 +31,37 @@ import pathlib
 import sys
 
 
+class CompareError(Exception):
+    """A user-facing input problem: print the message, exit 2, no traceback."""
+
+
 def load_benches(directory: pathlib.Path, wall: bool = False):
     """Returns {bench_name: {scenario_name: scenario_dict}}."""
+    if not directory.exists():
+        raise CompareError(f"error: directory {directory} does not exist")
+    if not directory.is_dir():
+        raise CompareError(f"error: {directory} is not a directory")
     benches = {}
     pattern = "BENCH_*.wall.json" if wall else "BENCH_*.json"
     schema = "dcs-bench-wall-v1" if wall else "dcs-bench-v1"
     for path in sorted(directory.glob(pattern)):
         if not wall and path.name.endswith(".wall.json"):
             continue
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except ValueError as exc:
+            raise CompareError(f"error: {path} is not valid JSON: {exc}")
+        except OSError as exc:
+            raise CompareError(f"error: cannot read {path}: {exc}")
+        if not isinstance(doc, dict):
+            print(f"warning: {path} is not a JSON object, skipped")
+            continue
         if doc.get("schema") != schema:
             print(f"warning: {path} has schema {doc.get('schema')!r}, skipped")
+            continue
+        if "bench" not in doc:
+            print(f"warning: {path} has no \"bench\" field, skipped")
             continue
         benches[doc["bench"]] = doc.get("scenarios", {})
     return benches
@@ -57,6 +76,11 @@ def pct_change(base: float, cand: float) -> float:
 
 def compare_scenario(label, base, cand, threshold, failures):
     """Appends to `failures`; prints one line per compared quantity."""
+    for side, doc in (("baseline", base), ("candidate", cand)):
+        if "virtual_ns" not in doc:
+            raise CompareError(
+                f"error: {side} scenario {label} has no \"virtual_ns\" — "
+                f"not a dcs-bench-v1 scenario (mismatched BENCH pair?)")
     checks = []
     base_lat = base.get("latency_ns", {})
     cand_lat = cand.get("latency_ns", {})
@@ -83,6 +107,11 @@ def compare_scenario(label, base, cand, threshold, failures):
 
 def compare_wall_scenario(label, base, cand, threshold, notable):
     """Wall-clock ns/event comparison; appends to `notable`, never fatal."""
+    for side, doc in (("baseline", base), ("candidate", cand)):
+        if "ns_per_event" not in doc:
+            raise CompareError(
+                f"error: {side} scenario {label} has no \"ns_per_event\" — "
+                f"not a dcs-bench-wall-v1 scenario (mismatched BENCH pair?)")
     b = float(base["ns_per_event"])
     c = float(cand["ns_per_event"])
     delta = pct_change(b, c)
@@ -173,4 +202,8 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except CompareError as exc:
+        print(exc)
+        sys.exit(2)

@@ -1,4 +1,4 @@
-// dcs — scenario driver.
+// dcs — scenario driver and offline debugger.
 //
 // Runs parameterizable versions of the repository's experiments without
 // recompiling, e.g.:
@@ -7,15 +7,19 @@
 //   dcs locks   --scheme ncosed --waiters 12 --mode shared
 //   dcs monitor --scheme rdma-sync --jobs 6
 //   dcs storm   --records 250000 --plane ddss
+//   dcs wedge   --scenario stall|deadline|violation --postmortem-dir pm
+//   dcs inspect pm/dcs_wedge_stall.engine-stall.1.postmortem.json --timeline 2
 //   dcs params
 //
 // All numbers are deterministic virtual-time results.
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "audit/audit.hpp"
 #include "cache/coop_cache.hpp"
 #include "common/table.hpp"
 #include "common/zipf.hpp"
@@ -24,8 +28,13 @@
 #include "dlm/dqnl.hpp"
 #include "dlm/ncosed.hpp"
 #include "dlm/srsl.hpp"
+#include "harness.hpp"
 #include "monitor/monitor.hpp"
+#include "monitor/watchdog.hpp"
+#include "sim/sync.hpp"
 #include "storm/storm.hpp"
+#include "trace/flight.hpp"
+#include "trace/inspect.hpp"
 #include "trace/observe.hpp"
 
 using namespace dcs;
@@ -58,15 +67,12 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
-/// Every command takes `--trace-out` / `--metrics-out` / `--critical-path`
-/// / `--bench-json`; the returned options feed a trace::ObservedRun scoped
-/// around the engine.
-trace::ObserveOptions observe_opts(const Args& args, const char* command) {
-  return {.trace_out = args.str("trace-out", ""),
-          .metrics_out = args.str("metrics-out", ""),
-          .critical_path_out = args.str("critical-path", ""),
-          .bench_json = args.str("bench-json", ""),
-          .bench_name = std::string("dcs_") + command};
+/// Every command takes the unified observability flags (parsed once by
+/// bench::extract_harness_flags in main); the returned options feed a
+/// trace::ObservedRun scoped around the engine.
+trace::ObserveOptions observe_opts(const bench::HarnessOptions& flags,
+                                   const char* command) {
+  return flags.observe(std::string("dcs_") + command);
 }
 
 int cmd_params() {
@@ -91,7 +97,7 @@ int cmd_params() {
   return 0;
 }
 
-int cmd_cache(const Args& args) {
+int cmd_cache(const Args& args, const bench::HarnessOptions& flags) {
   const std::string scheme_name = args.str("scheme", "HYBCC");
   cache::Scheme scheme = cache::Scheme::kHYBCC;
   for (const auto s : {cache::Scheme::kAC, cache::Scheme::kBCC,
@@ -109,7 +115,7 @@ int cmd_cache(const Args& args) {
   const std::size_t ws_mb = static_cast<std::size_t>(args.num("ws-mb", 12));
 
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
+  trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 6 + proxies_n, .cores_per_node = 2,
                       .mem_per_node = 64u << 20});
@@ -156,14 +162,14 @@ int cmd_cache(const Args& args) {
   return 0;
 }
 
-int cmd_locks(const Args& args) {
+int cmd_locks(const Args& args, const bench::HarnessOptions& flags) {
   const std::string scheme = args.str("scheme", "ncosed");
   const int waiters = static_cast<int>(args.num("waiters", 8));
   const std::string mode_name = args.str("mode", "shared");
   const auto mode = mode_name == "shared" ? dlm::LockMode::kShared
                                           : dlm::LockMode::kExclusive;
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
+  trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = static_cast<std::size_t>(waiters + 4),
                       .cores_per_node = 2});
@@ -213,7 +219,7 @@ int cmd_locks(const Args& args) {
   return 0;
 }
 
-int cmd_monitor(const Args& args) {
+int cmd_monitor(const Args& args, const bench::HarnessOptions& flags) {
   const std::string scheme_name = args.str("scheme", "rdma-sync");
   monitor::MonScheme scheme = monitor::MonScheme::kRdmaSync;
   if (scheme_name == "socket-sync") scheme = monitor::MonScheme::kSocketSync;
@@ -223,7 +229,7 @@ int cmd_monitor(const Args& args) {
   const int jobs = static_cast<int>(args.num("jobs", 4));
 
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
+  trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 2, .cores_per_node = 1});
   verbs::Network net(fab);
@@ -260,13 +266,13 @@ int cmd_monitor(const Args& args) {
   return 0;
 }
 
-int cmd_storm(const Args& args) {
+int cmd_storm(const Args& args, const bench::HarnessOptions& flags) {
   const auto records = static_cast<std::uint64_t>(args.num("records", 100000));
   const auto plane = args.str("plane", "ddss") == "ddss"
                          ? storm::ControlPlane::kDdss
                          : storm::ControlPlane::kSockets;
   sim::Engine eng;
-  trace::ObservedRun observed(eng, observe_opts(args, __func__ + 4));
+  trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 5, .cores_per_node = 2});
   verbs::Network net(fab);
@@ -292,6 +298,158 @@ int cmd_storm(const Args& args) {
   return 0;
 }
 
+// --- wedge: seeded failure scenarios that trip the flight recorder ---
+
+/// A holder node takes the N-CoSED exclusive lock and parks forever on an
+/// event nobody sets; every waiter queues behind it in the protocol's
+/// fully-parked wait (no timers).  Depending on --scenario, the wedge is
+/// witnessed by the engine stall detector, the load-adjusted deadline
+/// watchdog, or (violation) a seeded use-after-deregister under
+/// OnViolation::kPostmortem.  Each run writes deterministic
+/// dcs-postmortem-v1 dumps for `dcs inspect`.
+int cmd_wedge(const Args& args, const bench::HarnessOptions& flags) {
+  const std::string scenario = args.str("scenario", "stall");
+  if (scenario != "stall" && scenario != "deadline" &&
+      scenario != "violation") {
+    std::fprintf(stderr, "wedge: unknown --scenario %s\n", scenario.c_str());
+    return 2;
+  }
+  const int waiters = static_cast<int>(args.num("waiters", 3));
+
+  sim::Engine eng;
+  trace::FlightConfig fc;
+  fc.ring_capacity = static_cast<std::size_t>(args.num("ring", 128));
+  fc.postmortem_dir =
+      flags.postmortem_dir.empty() ? "." : flags.postmortem_dir;
+  fc.prefix = "dcs_wedge_" + scenario;
+  trace::FlightRecorder flight(eng, fc);
+  flight.install();
+
+  audit::Auditor auditor(
+      eng, {.on_violation = audit::OnViolation::kPostmortem});
+  if (scenario == "violation") auditor.install();
+
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = static_cast<std::size_t>(waiters + 2),
+                      .cores_per_node = 2});
+  verbs::Network net(fab);
+  sockets::TcpNetwork tcp(fab);
+
+  if (scenario == "violation") {
+    // Use-after-deregister: node 2 reads through an rkey node 1 tore down.
+    eng.spawn([](verbs::Network& n) -> sim::Task<void> {
+      trace::Request req("wedge.stale_read", 2, 1);
+      auto region = n.hca(1).allocate_region(64);
+      std::byte buf[8];
+      co_await n.hca(2).read(region, 0, buf);
+      n.hca(1).free_region(region);
+      co_await n.hca(2).read(region, 0, buf);  // faults: tombstoned rkey
+    }(net));
+    try {
+      eng.run();
+    } catch (const audit::AuditError& e) {
+      std::printf("wedge: audit violation captured: %s\n", e.what());
+    }
+  } else {
+    dlm::NcosedLockManager mgr(net, 0);
+    sim::Event never(eng);
+    eng.spawn([](sim::Engine& e, dlm::LockManager& m,
+                 sim::Event& park) -> sim::Task<void> {
+      trace::Request req("wedge.hold", 1, 1);
+      co_await m.lock(1, 0, dlm::LockMode::kExclusive);
+      DCS_LOG("wedge", "holder.parked", 1, 0);
+      co_await park.wait();  // never set: the lock is never released
+      co_await e.delay(0);
+    }(eng, mgr, never));
+    for (int i = 0; i < waiters; ++i) {
+      const auto self = static_cast<fabric::NodeId>(2 + i);
+      eng.spawn([](sim::Engine& e, dlm::LockManager& m,
+                   fabric::NodeId node) -> sim::Task<void> {
+        co_await e.delay(microseconds(10 * (node - 1)));
+        trace::Request req("wedge.acquire", node, node);
+        co_await m.lock(node, 0, dlm::LockMode::kExclusive);
+      }(eng, mgr, self));
+    }
+
+    if (scenario == "deadline") {
+      monitor::ResourceMonitor mon(net, tcp, 0, {1},
+                                   monitor::MonScheme::kERdmaSync);
+      mon.start();
+      // Background load on the holder's node so the watchdog's deadline is
+      // genuinely load-adjusted, not a fixed constant.
+      for (int j = 0; j < 2; ++j) {
+        eng.spawn(fab.node(1).execute(milliseconds(200)));
+      }
+      monitor::DeadlineWatchdog watchdog(
+          mon, flight,
+          {.interval = milliseconds(5), .deadline = milliseconds(20)});
+      eng.spawn(watchdog.run(milliseconds(200)));
+      eng.run_until(milliseconds(200));
+      std::printf("wedge: %llu watchdog sweeps, %llu deadline trips\n",
+                  static_cast<unsigned long long>(watchdog.sweeps()),
+                  static_cast<unsigned long long>(watchdog.trips()));
+    } else {
+      eng.run();  // drains with live roots -> stall detector trips
+    }
+  }
+
+  std::printf("wedge[%s]: %llu trip(s), %zu in-flight request(s) at end\n",
+              scenario.c_str(),
+              static_cast<unsigned long long>(flight.trips()),
+              flight.in_flight().size());
+  for (const auto& path : flight.dump_paths()) {
+    std::printf("  dump: %s\n", path.c_str());
+  }
+  return flight.trips() > 0 ? 0 : 1;
+}
+
+// --- inspect: offline queries over dumps and trace JSON ---
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dcs inspect FILE [--node N] [--layer L] "
+                 "[--request R] [--from NS] [--to NS] [--timeline R] "
+                 "[--top N] [--diff FILE] [--self-check]\n");
+    return 2;
+  }
+  const std::string file = argv[2];
+  trace::inspect::Options opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "inspect: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--self-check") {
+      opts.self_check = true;
+    } else if (flag == "--node") {
+      opts.node = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--layer") {
+      opts.layer = value();
+    } else if (flag == "--request") {
+      opts.request = std::stoull(value());
+    } else if (flag == "--from") {
+      opts.from_ns = std::stoull(value());
+    } else if (flag == "--to") {
+      opts.to_ns = std::stoull(value());
+    } else if (flag == "--timeline") {
+      opts.timeline = std::stoull(value());
+    } else if (flag == "--top") {
+      opts.top = static_cast<std::size_t>(std::stoul(value()));
+    } else if (flag == "--diff") {
+      opts.diff_path = value();
+    } else {
+      std::fprintf(stderr, "inspect: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  return trace::inspect::run(file, opts, std::cout, std::cerr);
+}
+
 void usage() {
   std::printf(
       "usage: dcs <command> [--flag value ...]\n\n"
@@ -302,12 +460,19 @@ void usage() {
       "  locks   --scheme srsl|dqnl|ncosed --waiters N --mode shared|exclusive\n"
       "  monitor --scheme socket-sync|socket-async|rdma-sync|rdma-async|"
       "e-rdma-sync --jobs N\n"
-      "  storm   --plane sockets|ddss --records N\n\n"
-      "observability (any command except params):\n"
+      "  storm   --plane sockets|ddss --records N\n"
+      "  wedge   --scenario stall|deadline|violation --waiters N --ring N\n"
+      "          (seeded wedged runs that trip the flight recorder)\n"
+      "  inspect FILE [--node N] [--layer L] [--request R] [--from NS]\n"
+      "          [--to NS] [--timeline R] [--top N] [--diff FILE]\n"
+      "          [--self-check]   offline debugger over postmortem/trace "
+      "JSON\n\n"
+      "observability (any command except params/inspect):\n"
       "  --trace-out FILE      write a Chrome trace_event JSON of the run\n"
       "  --metrics-out FILE    write the metrics registry dump of the run\n"
       "  --critical-path FILE  write the critical-path attribution report\n"
-      "  --bench-json FILE     write a dcs-bench-v1 telemetry snapshot\n");
+      "  --bench-json FILE     write a dcs-bench-v1 telemetry snapshot\n"
+      "  --postmortem-dir DIR  arm a flight recorder; trips dump there\n");
 }
 
 }  // namespace
@@ -318,12 +483,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "inspect") return cmd_inspect(argc, argv);
+  const auto flags = bench::extract_harness_flags(argc, argv);
   const Args args(argc, argv);
   if (cmd == "params") return cmd_params();
-  if (cmd == "cache") return cmd_cache(args);
-  if (cmd == "locks") return cmd_locks(args);
-  if (cmd == "monitor") return cmd_monitor(args);
-  if (cmd == "storm") return cmd_storm(args);
+  if (cmd == "cache") return cmd_cache(args, flags);
+  if (cmd == "locks") return cmd_locks(args, flags);
+  if (cmd == "monitor") return cmd_monitor(args, flags);
+  if (cmd == "storm") return cmd_storm(args, flags);
+  if (cmd == "wedge") return cmd_wedge(args, flags);
   usage();
   return 1;
 }
