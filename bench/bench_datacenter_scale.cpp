@@ -1,0 +1,320 @@
+// Datacenter-scale sharded benchmark (docs/SCALING.md).
+//
+// Partitions a 1024-node datacenter across `--partitions` engine shards and
+// runs them on `--shards` worker threads (sim/shard.hpp).  Each partition
+// hosts a real slice of the stack — a Fabric cluster with two-core nodes, a
+// verbs network, a DDSS substrate and an N-CoSED lock manager — and a set
+// of client strands issuing Zipf-distributed requests over the GLOBAL node
+// space.  A request whose node lives in another partition crosses the shard
+// boundary as a timestamped message; the remote side serves it (host CPU
+// slices + a DDSS get) and replies, so the benchmark exercises the
+// conservative-PDES merge under realistic request/response traffic with a
+// hot partition (Zipf mass concentrates on low node ranks).
+//
+// The point of the exercise is the determinism oracle: the merged dispatch
+// fingerprint printed at the end must be byte-identical for every
+// `--shards` value.  `--shards=1` is the sequential oracle; any divergence
+// at higher worker counts is a merge bug, not noise.
+//
+// `--bench-wall-json FILE` writes dcs-bench-wall-v1 telemetry with
+// LIST-valued fields: `events` is per-partition (partition order) and
+// `wall_ns` is per-worker (worker order), because a sharded run has no
+// single meaningful scalar for either — workers overlap in wall time and
+// partitions do unequal shares of the work.  tools/bench_compare.py reduces
+// the lists (sum of events, max of wall_ns) when comparing.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "ddss/ddss.hpp"
+#include "dlm/ncosed.hpp"
+#include "fabric/fabric.hpp"
+#include "harness.hpp"
+#include "sim/shard.hpp"
+#include "trace/shard_metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace dcs {
+namespace {
+
+// Cross-shard message tags.
+constexpr std::uint64_t kReq = 1;   // a = global node key, b = send time
+constexpr std::uint64_t kResp = 2;  // a = global node key, b = original send time
+
+constexpr std::size_t kAllocs = 8;       // DDSS allocations per partition
+constexpr std::size_t kValueBytes = 64;  // payload size of every put/get
+
+struct ScaleConfig {
+  std::size_t nodes = 1024;
+  std::uint32_t partitions = 16;
+  std::uint32_t shards = 1;
+  std::uint64_t seed = 1;
+  std::uint32_t clients = 4;  // client strands per partition
+  std::uint32_t ops = 24;     // requests per client strand
+  double alpha = 0.9;         // Zipf skew over the global node space
+};
+
+/// Everything one partition owns: a Fabric slice of the datacenter plus the
+/// services running on it.  Built by the setup factory on the partition's
+/// owning worker and parked there via Shard::keep_alive, so construction
+/// and destruction both happen on that worker's thread (the affinity
+/// contract in sim/shard.hpp).
+struct PartitionHost {
+  PartitionHost(sim::Engine& eng, const ScaleConfig& cfg)
+      : fab(eng, fabric::FabricParams{},
+            {.num_nodes = cfg.nodes / cfg.partitions,
+             .cores_per_node = 2,
+             .mem_per_node = 64u << 10}),
+        net(fab),
+        substrate(net),
+        locks(net, /*home=*/0),
+        zipf(cfg.nodes, cfg.alpha) {}
+
+  fabric::Fabric fab;
+  verbs::Network net;
+  ddss::Ddss substrate;
+  dlm::NcosedLockManager locks;
+  ZipfSampler zipf;
+  std::vector<ddss::Allocation> allocs;
+};
+
+// Coroutines below are free functions taking the shared host by value: a
+// coroutine must never be a capturing lambda (the closure dies at the end
+// of the spawning full-expression, leaving the frame with dangling
+// captures).
+
+/// Serves one remote request on the partition that owns the node: host CPU
+/// slices on the keyed node, a DDSS get, then the reply crosses back.
+sim::Task<void> serve_request(sim::Shard& shard,
+                              std::shared_ptr<PartitionHost> host,
+                              sim::ShardMsg msg) {
+  const auto local_nodes = host->fab.size();
+  const auto node = static_cast<fabric::NodeId>(msg.a % local_nodes);
+  co_await host->fab.node(node).execute(microseconds(1) +
+                                        (msg.a % 4) * nanoseconds(500));
+  DCS_CHECK_MSG(!host->allocs.empty(), "request arrived before boot finished");
+  std::array<std::byte, kValueBytes> buf{};
+  auto client = host->substrate.client(node);
+  co_await client.get(host->allocs[msg.a % host->allocs.size()], buf);
+  shard.send(msg.src, kResp, msg.a, msg.b);
+}
+
+/// One client strand: Zipf-keyed requests over the global node space.
+/// Local keys run the full DDSS/DLM path inline; remote keys cross shards.
+sim::Task<void> client_strand(sim::Shard& shard,
+                              std::shared_ptr<PartitionHost> host,
+                              ScaleConfig cfg, std::uint32_t idx) {
+  auto& eng = shard.engine();
+  auto& reg = trace::Registry::global();
+  Rng rng(cfg.seed ^ (std::uint64_t{shard.index()} << 32) ^
+          (std::uint64_t{idx} * 0x9E3779B97F4A7C15ULL));
+  const auto local_nodes = host->fab.size();
+  // Boot is deterministic and identical across partitions, so a fixed
+  // settle delay guarantees every partition's allocations exist before the
+  // first cross-shard request can arrive.
+  co_await eng.delay(microseconds(50) + idx * nanoseconds(137));
+  std::array<std::byte, kValueBytes> buf{};
+  for (std::uint32_t op = 0; op < cfg.ops; ++op) {
+    co_await eng.delay(rng.uniform(microseconds(1), microseconds(25)));
+    const std::size_t key = host->zipf.sample(rng);  // global node rank
+    const auto target = static_cast<std::uint32_t>(key / local_nodes);
+    if (target != shard.index()) {
+      shard.send(target, kReq, key, eng.now());
+      reg.counter("scale.remote.req").add(1);
+      continue;
+    }
+    const auto node = static_cast<fabric::NodeId>(key % local_nodes);
+    auto client = host->substrate.client(node);
+    const auto& alloc = host->allocs[key % host->allocs.size()];
+    if (op % 3 == 0) {
+      std::array<std::byte, kValueBytes> val{};
+      val[0] = static_cast<std::byte>(op);
+      co_await client.put(alloc, val);
+    } else {
+      co_await client.get(alloc, buf);
+    }
+    if (op % 8 == 0) {
+      const auto lock_id = static_cast<dlm::LockId>(key % 16);
+      co_await host->locks.lock(node, lock_id, dlm::LockMode::kExclusive);
+      co_await host->fab.node(node).execute(microseconds(2));
+      co_await host->locks.unlock(node, lock_id);
+    }
+    reg.counter("scale.local.ops").add(1);
+  }
+}
+
+/// Boot strand: allocate the partition's DDSS working set, then launch the
+/// clients.  Runs identically on every partition.
+sim::Task<void> boot(sim::Shard& shard, std::shared_ptr<PartitionHost> host,
+                     ScaleConfig cfg) {
+  auto client = host->substrate.client(0);
+  for (std::size_t i = 0; i < kAllocs; ++i) {
+    host->allocs.push_back(
+        co_await client.allocate(kValueBytes, ddss::Coherence::kWrite));
+  }
+  for (std::uint32_t c = 0; c < cfg.clients; ++c) {
+    shard.engine().spawn(client_strand(shard, host, cfg, c));
+  }
+}
+
+void setup_partition(sim::Shard& shard, const ScaleConfig& cfg) {
+  auto host = std::make_shared<PartitionHost>(shard.engine(), cfg);
+  host->substrate.start();
+  shard.set_handler([host](sim::Shard& s, const sim::ShardMsg& msg) {
+    auto& reg = trace::Registry::global();
+    if (msg.tag == kReq) {
+      reg.counter("scale.remote.served").add(1);
+      s.engine().spawn(serve_request(s, host, msg));
+    } else {
+      reg.counter("scale.remote.resp").add(1);
+      reg.counter("scale.remote.rtt_total_ns").add(s.engine().now() - msg.b);
+    }
+  });
+  shard.engine().spawn(boot(shard, host, cfg));
+  shard.keep_alive(host);
+}
+
+std::uint64_t counter_value(const char* name) {
+  const auto* c = trace::Registry::global().find_counter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+bool parse_u64(const char* arg, const char* flag, std::uint64_t* out) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=') return false;
+  *out = std::strtoull(arg + n + 1, nullptr, 10);
+  return true;
+}
+
+int run(const ScaleConfig& cfg, const bench::HarnessOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+  trace::Registry::global().reset();
+  const auto wall_start = Clock::now();
+  sim::ShardedEngine sharded({.partitions = cfg.partitions,
+                              .workers = cfg.shards,
+                              .lookahead = fabric::FabricParams{}.link_latency});
+  sharded.setup([&cfg](sim::Shard& shard) { setup_partition(shard, cfg); });
+  sharded.run();
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           wall_start)
+          .count());
+  trace::collect_shard_registries(sharded);
+
+  const auto events = sharded.partition_events();
+  const auto worker_wall = sharded.worker_wall_ns();
+  const std::uint64_t total_events = sharded.events_dispatched();
+  const std::uint64_t busiest_worker_ns =
+      *std::max_element(worker_wall.begin(), worker_wall.end());
+  const double secs = static_cast<double>(wall_ns) / 1e9;
+  const double eps = secs > 0 ? static_cast<double>(total_events) / secs : 0;
+
+  const std::uint64_t resp = counter_value("scale.remote.resp");
+  const std::uint64_t rtt_total = counter_value("scale.remote.rtt_total_ns");
+  std::printf("datacenter_scale: nodes=%zu partitions=%u shards=%u seed=%" PRIu64
+              "\n",
+              cfg.nodes, cfg.partitions, sharded.workers(), cfg.seed);
+  std::printf("  fingerprint      0x%016" PRIx64 "   <- identical for every --shards\n",
+              sharded.merged_fingerprint());
+  std::printf("  events           %" PRIu64 " (%" PRIu64
+              " cross msgs, %" PRIu64 " windows)\n",
+              total_events, sharded.cross_messages(), sharded.windows());
+  std::printf("  virtual time     %.3f ms\n",
+              static_cast<double>(sharded.now()) / 1e6);
+  std::printf("  local ops        %" PRIu64 "\n", counter_value("scale.local.ops"));
+  std::printf("  remote req/resp  %" PRIu64 "/%" PRIu64 " (mean rtt %.2f us)\n",
+              counter_value("scale.remote.req"), resp,
+              resp > 0 ? static_cast<double>(rtt_total) / resp / 1e3 : 0.0);
+  std::printf("  wall             %.1f ms total, %.1f ms busiest worker, "
+              "%.0f events/sec\n",
+              static_cast<double>(wall_ns) / 1e6,
+              static_cast<double>(busiest_worker_ns) / 1e6, eps);
+
+  if (!opts.wall_json.empty()) {
+    std::ofstream os(opts.wall_json);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open %s\n", opts.wall_json.c_str());
+      return 1;
+    }
+    // dcs-bench-wall-v1 with list-valued events (per partition) and
+    // wall_ns (per worker); consumers reduce with sum / max respectively.
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "0x%016" PRIx64, sharded.merged_fingerprint());
+    os << "{\n  \"schema\": \"dcs-bench-wall-v1\",\n"
+       << "  \"bench\": \"datacenter_scale\",\n  \"scenarios\": {\n"
+       << "    \"zipf/nodes=" << cfg.nodes << "\": {\n"
+       << "      \"virtual_ns\": " << sharded.now() << ",\n"
+       << "      \"fingerprint\": \"" << fp << "\",\n"
+       << "      \"partitions\": " << cfg.partitions << ",\n"
+       << "      \"shards\": " << sharded.workers() << ",\n"
+       << "      \"cross_messages\": " << sharded.cross_messages() << ",\n"
+       << "      \"events\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      os << (i ? ", " : "") << events[i];
+    }
+    os << "],\n      \"wall_ns\": [";
+    for (std::size_t i = 0; i < worker_wall.size(); ++i) {
+      os << (i ? ", " : "") << worker_wall[i];
+    }
+    char eps_s[64], npe_s[64];
+    std::snprintf(eps_s, sizeof eps_s, "%.3f", eps);
+    std::snprintf(npe_s, sizeof npe_s, "%.3f",
+                  total_events > 0
+                      ? static_cast<double>(wall_ns) / total_events
+                      : 0.0);
+    os << "],\n      \"events_per_sec\": " << eps_s << ",\n"
+       << "      \"ns_per_event\": " << npe_s << "\n    }\n  }\n}\n";
+    std::fprintf(stderr, "bench: wall telemetry -> %s\n",
+                 opts.wall_json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  auto opts = dcs::bench::extract_harness_flags(argc, argv);
+  dcs::ScaleConfig cfg;
+  std::uint64_t v = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (dcs::parse_u64(argv[i], "--nodes", &v)) {
+      cfg.nodes = static_cast<std::size_t>(v);
+    } else if (dcs::parse_u64(argv[i], "--partitions", &v)) {
+      cfg.partitions = static_cast<std::uint32_t>(v);
+    } else if (dcs::parse_u64(argv[i], "--shards", &v)) {
+      cfg.shards = static_cast<std::uint32_t>(v);
+    } else if (dcs::parse_u64(argv[i], "--seed", &v)) {
+      cfg.seed = v;
+    } else if (dcs::parse_u64(argv[i], "--clients", &v)) {
+      cfg.clients = static_cast<std::uint32_t>(v);
+    } else if (dcs::parse_u64(argv[i], "--ops", &v)) {
+      cfg.ops = static_cast<std::uint32_t>(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--nodes=N] [--partitions=P] [--shards=W] "
+                   "[--seed=S] [--clients=C] [--ops=K] "
+                   "[--bench-wall-json FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.partitions == 0 || cfg.nodes % cfg.partitions != 0) {
+    std::fprintf(stderr,
+                 "datacenter_scale: --nodes must be a positive multiple of "
+                 "--partitions\n");
+    return 2;
+  }
+  return dcs::run(cfg, opts);
+}

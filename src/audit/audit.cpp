@@ -178,6 +178,18 @@ void Auditor::acquire(const void* obj) {
   }
 }
 
+void Auditor::on_cross_shard(std::uint32_t src_shard, std::uint64_t seq) {
+  // The sender ran on another OS thread under a different Auditor, so there
+  // is no release/acquire pair to join here.  The sharded runner's merge
+  // order (time, src shard, seq) is the ordering authority; locally the
+  // delivery just opens a fresh epoch on the pump strand so accesses made
+  // before and after the handoff are never reported as concurrent with each
+  // other.
+  (void)src_shard;
+  (void)seq;
+  tick();
+}
+
 // --- reporting ---
 
 std::string Auditor::strand_name(std::uint32_t strand) const {

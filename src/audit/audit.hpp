@@ -184,6 +184,7 @@ class Auditor final : public sim::AuditHook {
   void on_run_done() override;
   void release(const void* obj) override;
   void acquire(const void* obj) override;
+  void on_cross_shard(std::uint32_t src_shard, std::uint64_t seq) override;
 
  private:
   /// Sparse vector clock: strand id -> event count.

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include "fabric/memory.hpp"
 #include "fabric/params.hpp"
@@ -46,15 +48,29 @@ class Node {
   /// executed in scheduler-quantum slices through a FIFO run-queue, so a
   /// newly runnable job on a loaded host waits ~(run-queue length x quantum)
   /// before its first slice — the effect behind the paper's Figure 8a.
+  ///
+  /// Each core has its own FIFO run-queue.  A job is placed once, on
+  /// arrival, onto the core with the fewest bound jobs (ties to the lowest
+  /// index — deterministic) and stays there for all its slices, so its
+  /// kHostCpu spans carry a stable "core<k>" detail the critical-path
+  /// profiler can attribute per core.
   sim::Task<void> execute(SimNanos work);
 
   /// Runs `work` nanoseconds without releasing the core between slices
   /// (non-preemptible kernel path; used for interrupt-context costs).
   sim::Task<void> execute_unsliced(SimNanos work);
 
-  /// Current run-queue length (running + waiting-to-run jobs).
+  /// Current run-queue length (running + waiting-to-run jobs, all cores).
   std::uint64_t runnable() const { return runnable_; }
   std::uint64_t busy_ns() const { return busy_ns_; }
+  /// Busy time accumulated by one core (per-core attribution telemetry).
+  std::uint64_t core_busy_ns(std::size_t core) const {
+    return cores_state_[core]->busy_ns;
+  }
+  /// Jobs currently bound to one core (running + waiting on its queue).
+  std::uint64_t core_queued(std::size_t core) const {
+    return cores_state_[core]->queued;
+  }
   /// CPU utilization over the whole run so far, in [0, 1].
   double utilization() const;
 
@@ -83,14 +99,28 @@ class Node {
   bool failed() const { return failed_; }
 
  private:
+  /// One CPU core: a single-permit FIFO slot plus its accounting.  Held by
+  /// unique_ptr because sim::Semaphore pins its address (waiters park
+  /// pointers to it).
+  struct Core {
+    explicit Core(sim::Engine& eng) : slot(eng, 1) {}
+    sim::Semaphore slot;
+    std::uint64_t queued = 0;   // jobs bound here (running + waiting)
+    std::uint64_t busy_ns = 0;
+  };
+
   void sync_kernel_page();
+  /// Arrival placement: fewest bound jobs, ties to the lowest index.
+  std::size_t pick_core() const;
+  /// Static span-detail string for a core index ("core0", "core1", ...).
+  static const char* core_name(std::size_t core);
 
   sim::Engine& eng_;
   NodeId id_;
   const FabricParams& params_;
   std::size_t cores_;
   NodeMemory memory_;
-  sim::Semaphore run_queue_;
+  std::vector<std::unique_ptr<Core>> cores_state_;
   sim::Mutex nic_tx_;
   std::uint64_t runnable_ = 0;
   std::uint64_t service_threads_ = 0;

@@ -68,11 +68,27 @@ class AuditHook {
   /// The current strand acquired `obj` (event observed set, channel item
   /// received, semaphore permit taken).
   virtual void acquire(const void* obj) = 0;
+
+  // --- cross-shard boundaries ---
+
+  /// A sharded run (sim/shard.hpp) delivered an inbound cross-shard message
+  /// on the current strand.  The sender ran on another OS thread under a
+  /// different hook instance, so no release/acquire pairing is possible;
+  /// instead the delivery opens a fresh vector-clock epoch on the receiving
+  /// strand, ordered by the deterministic merge position (src shard, seq).
+  /// Default: ignored, so checkers that predate sharding stay correct.
+  virtual void on_cross_shard(std::uint32_t src_shard, std::uint64_t seq) {
+    (void)src_shard;
+    (void)seq;
+  }
 };
 
-/// The installed hook, or nullptr.  Single-threaded process: plain pointer.
+/// The installed hook for this thread, or nullptr.  One slot per OS thread:
+/// each shard worker of a sharded run (sim/shard.hpp) may install its own
+/// checker over its own engine, and a hook installed on the main thread
+/// never observes (or races with) another shard's dispatches.
 inline AuditHook*& audit_hook() {
-  static AuditHook* hook = nullptr;
+  static thread_local AuditHook* hook = nullptr;
   return hook;
 }
 

@@ -51,12 +51,26 @@ using Time = SimNanos;
 
 class Engine {
  public:
+  /// "No pending event" / "run unbounded" sentinel time.
+  static constexpr Time kForever = ~Time{0};
+
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
   Time now() const { return now_; }
+
+  /// Earliest pending dispatch time: now() when same-time work sits in the
+  /// ready ring, the minimum pending timer deadline otherwise, kForever when
+  /// the engine is fully drained (parked strands hold no events).  The
+  /// sharded runner (sim/shard.hpp) uses this to compute the global minimum
+  /// the conservative-PDES safe horizon derives from.
+  Time next_event_time() const {
+    if (ring_size_ != 0) return now_;
+    if (timer_count_ != 0) return next_timer_ > now_ ? next_timer_ : now_;
+    return kForever;
+  }
 
   /// Schedules a raw coroutine handle to resume at absolute time `t >= now`.
   void schedule(std::coroutine_handle<> h, Time t) {
@@ -72,6 +86,24 @@ class Engine {
   /// Schedules at the current time (runs after already-queued same-time work).
   void schedule_now(std::coroutine_handle<> h) {
     ring_push(h, seq_++);
+    if (auto* hook = audit_hook()) hook->on_schedule(h.address());
+  }
+
+  /// Sequence number of every cross-shard wake: a fixed value in a band
+  /// above anything the counter assigns, so same-time counter entries
+  /// dispatch first and the (time, seq) fingerprint contribution of a
+  /// cross delivery is a pure function of its delivery time.
+  static constexpr std::uint64_t kCrossSeq = std::uint64_t{1} << 62;
+
+  /// Schedules a cross-shard delivery wake (sim/shard.hpp) at strictly
+  /// future time `t` WITHOUT consuming a sequence number.  The runner calls
+  /// this at window start, a point that moves with worker count and
+  /// run_until chop points; drawing from seq_ here would make fingerprints
+  /// depend on both.  At most one wake per (strand, time) — the fixed seq
+  /// never has to break a tie against another cross entry.
+  void schedule_cross(std::coroutine_handle<> h, Time t) {
+    DCS_CHECK_MSG(t > now_, "cross wake must be strictly in the future");
+    timer_push(TimerEntry{t, kCrossSeq, h, strand_ctx()});
     if (auto* hook = audit_hook()) hook->on_schedule(h.address());
   }
 
@@ -141,7 +173,7 @@ class Engine {
   // The wheel covers kBuckets * 2^kBucketBits ns (~4.2 ms) from its base.
   static constexpr std::size_t kBucketBits = 12;
   static constexpr std::size_t kBuckets = 1024;
-  static constexpr Time kNever = ~Time{0};
+  static constexpr Time kNever = kForever;
 
   // Entries snapshot the scheduling strand's trace context.  The engine
   // installs it before the resume so spawned roots and woken waiters start

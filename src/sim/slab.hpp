@@ -13,15 +13,19 @@
 //   - every block carries a 16-byte header recording its full size, so the
 //     plain (unsized) operator delete the coroutine machinery may call can
 //     route the block back to the right free list;
-//   - blocks are carved from 64 KiB chunks owned by the process-wide
-//     instance; chunks are never returned while the process runs (they stay
-//     reachable, so LeakSanitizer is happy) and are released at exit;
+//   - blocks are carved from 64 KiB chunks owned by the per-thread
+//     instance; chunks are never returned while the thread runs (they stay
+//     reachable, so LeakSanitizer is happy) and are released at thread exit;
 //   - under AddressSanitizer, free blocks are poisoned, so a resumed
 //     coroutine touching a frame that already completed faults exactly like
 //     a heap use-after-free would.
 //
-// The process is single-threaded by construction (the simulator's core
-// assumption, same as sim::audit_hook), so no locking.
+// The slab is one instance per OS thread (thread_local, same policy as
+// sim::audit_hook), so it still needs no locking.  The contract a sharded
+// run (sim/shard.hpp) must uphold: every coroutine frame is allocated and
+// freed on the thread that owns its engine — partitions are pinned to one
+// worker for their whole life, and setup/teardown of a partition's workload
+// run on that worker, never on the coordinator.
 #pragma once
 
 #include <cstddef>
@@ -72,7 +76,7 @@ class FrameSlab {
   };
 
   static FrameSlab& instance() {
-    static FrameSlab slab;
+    static thread_local FrameSlab slab;
     return slab;
   }
 

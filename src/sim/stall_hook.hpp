@@ -43,9 +43,11 @@ class StallHook {
   virtual void on_wedged(std::size_t live_roots) = 0;
 };
 
-/// The installed hook, or nullptr.  Single-threaded process: plain pointer.
+/// The installed hook for this thread, or nullptr.  Thread-local for the
+/// same reason as sim::audit_hook(): every engine of a sharded run lives on
+/// exactly one worker thread, and its stall detector must watch only it.
 inline StallHook*& stall_hook() {
-  static StallHook* hook = nullptr;
+  static thread_local StallHook* hook = nullptr;
   return hook;
 }
 

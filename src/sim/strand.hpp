@@ -1,12 +1,17 @@
 // Per-strand trace context.
 //
-// A "strand" is one logical chain of coroutine execution.  The engine is
-// single-threaded, so the ambient context is a single global slot; awaiters
+// A "strand" is one logical chain of coroutine execution.  Each engine runs
+// single-threaded, so the ambient context is one slot per OS thread; awaiters
 // save it in await_suspend and restore it in await_resume (exactly like the
 // audit tokens), and the engine installs the spawner's snapshot before the
 // first resume of a spawned root so detached work inherits a follows-from
 // link.  The slot lives in sim (not trace) because the engine and the sync
 // primitives cannot depend on the trace layer.
+//
+// The slot is thread_local (not a process global): a sharded run
+// (sim/shard.hpp) drives one engine per worker thread, and each worker's
+// strands must not leak context into another shard's.  Single-threaded
+// programs see exactly the old process-global behaviour.
 //
 // `request` is the causal request id a request-scoped tracer assigns
 // (0 = untracked), `span` the innermost open span on this strand
@@ -23,9 +28,9 @@ struct StrandCtx {
   std::uint64_t span = 0;
 };
 
-/// The ambient context of the currently running strand.
+/// The ambient context of the strand currently running on this thread.
 inline StrandCtx& strand_ctx() {
-  static StrandCtx ctx;
+  static thread_local StrandCtx ctx;
   return ctx;
 }
 

@@ -42,7 +42,11 @@ std::string json_escape(const char* s) {
 // --- Registry ---
 
 Registry& Registry::global() {
-  static Registry instance;
+  // One registry per OS thread: instrumentation on a shard worker lands in
+  // that worker's registry, which the sharded runner folds into the
+  // coordinator's via merge() in deterministic partition order at teardown
+  // (sim/shard.hpp).  Single-threaded programs see the old process-global.
+  static thread_local Registry instance;
   return instance;
 }
 

@@ -7,8 +7,10 @@
 //             A layer resolves its handles once (the lookup is a map walk)
 //             and then updates them with plain arithmetic — near-zero cost
 //             on the hot path.  Names follow `layer.component.metric`.
-//             `Registry::global()` is the process-wide instance every
-//             built-in layer registers into; handles stay valid forever
+//             `Registry::global()` is the per-thread instance every
+//             built-in layer registers into (one per OS thread, so shard
+//             workers never race — sharded runs merge worker registries at
+//             teardown); handles stay valid for the thread's lifetime
 //             (reset() zeroes values but never removes entries).
 //
 //   Tracer    records spans (op type, node, id, start/end sim::Time) and
@@ -75,7 +77,8 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// The process-wide registry all built-in instrumentation uses.
+  /// The per-thread registry all built-in instrumentation on this thread
+  /// uses (see the header comment for the sharding rationale).
   static Registry& global();
 
   Counter& counter(std::string_view name);
@@ -233,8 +236,12 @@ struct Sinks {
   bool any = false;
 };
 
+// One sink set per OS thread: a tracer or flight recorder installed on the
+// main thread observes only main-thread engines, and each shard worker of a
+// sharded run (sim/shard.hpp) may arm its own recorder over its own engine
+// without racing.  Single-threaded programs behave exactly as before.
 inline Sinks& sinks() {
-  static Sinks instance;
+  static thread_local Sinks instance;
   return instance;
 }
 

@@ -23,6 +23,9 @@ With --wall the directories hold BENCH_<name>.wall.json files
 ns/event instead.  Wall time is machine- and load-dependent, so --wall only
 REPORTS deltas beyond the threshold (default 15%) and always exits zero; it
 exists to make throughput changes visible in CI logs, not to gate them.
+Sharded wall files (bench_datacenter_scale) carry list-valued `events`
+(per partition) and `wall_ns` (per worker); they are reduced to sum and
+max respectively before comparing ns/event.
 """
 
 import argparse
@@ -105,15 +108,41 @@ def compare_scenario(label, base, cand, threshold, failures):
               f"{delta:+8.2f}%  {status}")
 
 
+def wall_ns_per_event(label, side, doc):
+    """ns/event for one wall scenario, reducing sharded list-valued fields.
+
+    Single-engine benches (bench/harness.cpp) write scalar `events`,
+    `wall_ns` and `ns_per_event`.  Sharded benches (bench_datacenter_scale)
+    write `events` as a per-partition list and `wall_ns` as a per-worker
+    list: partitions do unequal work and workers overlap in wall time, so
+    the faithful reduction is sum(events) over max(wall_ns) — the busiest
+    worker is the critical path.  When either field is a list the scalar
+    `ns_per_event` (if present) is ignored and recomputed from the reduced
+    values, so two runs at different --shards counts compare on the same
+    footing.
+    """
+    events = doc.get("events")
+    wall = doc.get("wall_ns")
+    has_lists = isinstance(events, list) or isinstance(wall, list)
+    if not has_lists and isinstance(doc.get("ns_per_event"), (int, float)):
+        return float(doc["ns_per_event"])
+    if isinstance(events, list):
+        events = sum(events)
+    if isinstance(wall, list):
+        wall = max(wall, default=0)
+    if not isinstance(events, (int, float)) or not isinstance(
+            wall, (int, float)):
+        raise CompareError(
+            f"error: {side} scenario {label} has no usable \"ns_per_event\" "
+            f"or (\"events\", \"wall_ns\") pair — not a dcs-bench-wall-v1 "
+            f"scenario (mismatched BENCH pair?)")
+    return float(wall) / float(events) if events else 0.0
+
+
 def compare_wall_scenario(label, base, cand, threshold, notable):
     """Wall-clock ns/event comparison; appends to `notable`, never fatal."""
-    for side, doc in (("baseline", base), ("candidate", cand)):
-        if "ns_per_event" not in doc:
-            raise CompareError(
-                f"error: {side} scenario {label} has no \"ns_per_event\" — "
-                f"not a dcs-bench-wall-v1 scenario (mismatched BENCH pair?)")
-    b = float(base["ns_per_event"])
-    c = float(cand["ns_per_event"])
+    b = wall_ns_per_event(label, "baseline", base)
+    c = wall_ns_per_event(label, "candidate", cand)
     delta = pct_change(b, c)
     status = "ok"
     if abs(delta) > threshold:
