@@ -1,0 +1,109 @@
+#include "lint/include_graph.hpp"
+
+#include <deque>
+
+namespace dcs::lint {
+
+namespace {
+
+// Collapses "a/b/../c" and "./" segments; keeps the path repo-relative.
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string seg;
+  auto flush = [&] {
+    if (seg.empty() || seg == ".") {
+      seg.clear();
+      return;
+    }
+    if (seg == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else {
+      parts.push_back(seg);
+    }
+    seg.clear();
+  };
+  for (char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      seg.push_back(c);
+    }
+  }
+  flush();
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out.push_back('/');
+    out += p;
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& path) {
+  auto pos = path.rfind('/');
+  return pos == std::string::npos ? std::string() : path.substr(0, pos);
+}
+
+}  // namespace
+
+std::vector<IncludeRef> collect_includes(const LexedFile& file) {
+  std::vector<IncludeRef> out;
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    // The directive-name token itself: `include` right after `#`.
+    if (t.kind != TokKind::kIdent || !t.in_directive || t.text != "include" ||
+        i == 0 || toks[i - 1].text != "#") {
+      continue;
+    }
+    if (i + 1 >= toks.size()) break;
+    const Token& op = toks[i + 1];
+    if (op.kind == TokKind::kString && op.text.size() >= 2) {
+      out.push_back({op.text.substr(1, op.text.size() - 2), false, op.line});
+    } else if (op.kind == TokKind::kPunct && op.text == "<") {
+      std::string joined;
+      for (std::size_t j = i + 2;
+           j < toks.size() && toks[j].in_directive && toks[j].text != ">";
+           ++j) {
+        joined += toks[j].text;
+      }
+      out.push_back({joined, true, op.line});
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> resolve_include(
+    const std::string& operand, const std::string& includer,
+    const std::set<std::string>& known) {
+  const std::string dir = dirname_of(includer);
+  const std::string candidates[] = {
+      dir.empty() ? operand : dir + "/" + operand,
+      "src/" + operand,
+      "bench/" + operand,
+      operand,
+  };
+  for (const auto& c : candidates) {
+    std::string n = normalize(c);
+    if (known.count(n) != 0) return n;
+  }
+  return std::nullopt;
+}
+
+std::set<std::string> reachable_from(
+    const std::map<std::string, std::vector<std::string>>& edges,
+    const std::set<std::string>& roots) {
+  std::set<std::string> seen = roots;
+  std::deque<std::string> queue(roots.begin(), roots.end());
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    auto it = edges.find(cur);
+    if (it == edges.end()) continue;
+    for (const auto& next : it->second) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return seen;
+}
+
+}  // namespace dcs::lint

@@ -1,0 +1,406 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace dcs::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : s_(src) {}
+
+  LexedFile run() {
+    while (!at_end()) step();
+    return std::move(out_);
+  }
+
+ private:
+  // --- splice-aware character stream -------------------------------------
+  //
+  // Phase-2 line splices (`\` + newline) are removed transparently by
+  // cur()/peek()/advance(); raw string bodies bypass them via raw_*()
+  // helpers, because splices are reverted inside raw literals.
+
+  static bool is_splice(std::string_view s, std::size_t j) {
+    if (j + 1 >= s.size() || s[j] != '\\') return false;
+    if (s[j + 1] == '\n') return true;
+    return j + 2 < s.size() && s[j + 1] == '\r' && s[j + 2] == '\n';
+  }
+
+  void skip_splices() {
+    while (is_splice(s_, i_)) {
+      i_ += (s_[i_ + 1] == '\r') ? 3 : 2;
+      ++line_;
+      col_ = 1;
+    }
+  }
+
+  bool at_end() {
+    skip_splices();
+    return i_ >= s_.size();
+  }
+
+  char cur() {
+    skip_splices();
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+
+  // k-th character after the current one, with splices removed.
+  char peek(std::size_t k) {
+    std::size_t j = i_;
+    for (std::size_t step = 0;; ++step) {
+      while (is_splice(s_, j)) j += (s_[j + 1] == '\r') ? 3 : 2;
+      if (j >= s_.size()) return '\0';
+      if (step == k) return s_[j];
+      ++j;
+    }
+  }
+
+  // Consumes one logical character, maintaining line/col.
+  char advance() {
+    skip_splices();
+    if (i_ >= s_.size()) return '\0';
+    char c = s_[i_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  // --- token emission ----------------------------------------------------
+
+  void emit(TokKind kind, std::string text, int line, int col) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.col = col;
+    t.in_directive = in_directive_;
+    t.directive = directive_;
+    if (want_directive_name_ && kind == TokKind::kIdent) {
+      directive_ = t.text;
+      t.directive = directive_;
+      want_directive_name_ = false;
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void end_logical_line() {
+    at_line_start_ = true;
+    in_directive_ = false;
+    want_directive_name_ = false;
+    directive_.clear();
+  }
+
+  // --- main dispatch -----------------------------------------------------
+
+  void step() {
+    char c = cur();
+    if (c == '\n') {
+      advance();
+      end_logical_line();
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    // A directive starts with `#` (or the `%:` digraph) as the first
+    // non-whitespace token of a logical line; comments count as whitespace.
+    if (at_line_start_ && (c == '#' || (c == '%' && peek(1) == ':'))) {
+      int line = line_, col = col_;
+      advance();
+      if (c == '%') advance();
+      at_line_start_ = false;
+      in_directive_ = true;
+      want_directive_name_ = true;
+      directive_.clear();
+      emit(TokKind::kPunct, "#", line, col);
+      return;
+    }
+    at_line_start_ = false;
+    if (ident_start(c)) {
+      identifier_or_literal_prefix();
+      return;
+    }
+    if (digit(c) || (c == '.' && digit(peek(1)))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_literal("");
+      return;
+    }
+    if (c == '\'') {
+      char_literal("");
+      return;
+    }
+    punct();
+  }
+
+  // --- comments ----------------------------------------------------------
+
+  void line_comment() {
+    int line = line_, col = col_;
+    std::string text;
+    // advance() is splice-aware, so `// ...\` continues onto the next
+    // physical line, exactly as the preprocessor sees it.
+    while (!at_end() && cur() != '\n') text.push_back(advance());
+    out_.comments.push_back({std::move(text), line, line_, col});
+  }
+
+  void block_comment() {
+    int line = line_, col = col_;
+    std::string text;
+    text.push_back(advance());  // '/'
+    text.push_back(advance());  // '*'
+    // Block comments do not nest: stop at the first `*/`.
+    while (!at_end()) {
+      if (cur() == '*' && peek(1) == '/') {
+        text.push_back(advance());
+        text.push_back(advance());
+        break;
+      }
+      text.push_back(advance());
+    }
+    out_.comments.push_back({std::move(text), line, line_, col});
+  }
+
+  // --- identifiers and prefixed literals ----------------------------------
+
+  void identifier_or_literal_prefix() {
+    int line = line_, col = col_;
+    std::string text;
+    while (!at_end() && ident_cont(cur())) text.push_back(advance());
+    // Encoding prefixes bind to an immediately following quote.
+    const bool raw = (text == "R" || text == "LR" || text == "uR" ||
+                      text == "UR" || text == "u8R");
+    const bool enc =
+        (text == "L" || text == "u" || text == "U" || text == "u8");
+    if (raw && cur() == '"') {
+      raw_string(std::move(text), line, col);
+      return;
+    }
+    if (enc && cur() == '"') {
+      string_literal(std::move(text), line, col);
+      return;
+    }
+    if (enc && cur() == '\'') {
+      char_literal(std::move(text), line, col);
+      return;
+    }
+    emit(TokKind::kIdent, std::move(text), line, col);
+  }
+
+  // --- literals ----------------------------------------------------------
+
+  void udl_suffix(std::string& text) {
+    while (!at_end() && ident_cont(cur())) text.push_back(advance());
+  }
+
+  void string_literal(std::string prefix) {
+    string_literal(std::move(prefix), line_, col_);
+  }
+
+  void string_literal(std::string text, int line, int col) {
+    text.push_back(advance());  // opening '"'
+    while (!at_end() && cur() != '\n') {
+      if (cur() == '\\') {
+        text.push_back(advance());
+        if (!at_end()) text.push_back(advance());
+        continue;
+      }
+      if (cur() == '"') {
+        text.push_back(advance());
+        udl_suffix(text);
+        emit(TokKind::kString, std::move(text), line, col);
+        return;
+      }
+      text.push_back(advance());
+    }
+    // Unterminated literal: emit what we have (total lexer, no failure).
+    emit(TokKind::kString, std::move(text), line, col);
+  }
+
+  void char_literal(std::string prefix) {
+    char_literal(std::move(prefix), line_, col_);
+  }
+
+  void char_literal(std::string text, int line, int col) {
+    text.push_back(advance());  // opening '\''
+    while (!at_end() && cur() != '\n') {
+      if (cur() == '\\') {
+        text.push_back(advance());
+        if (!at_end()) text.push_back(advance());
+        continue;
+      }
+      if (cur() == '\'') {
+        text.push_back(advance());
+        udl_suffix(text);
+        emit(TokKind::kChar, std::move(text), line, col);
+        return;
+      }
+      text.push_back(advance());
+    }
+    emit(TokKind::kChar, std::move(text), line, col);
+  }
+
+  // Raw strings see the physical character stream: no splice removal, no
+  // escape processing.  `)delim"` with the matching delimiter ends the body.
+  void raw_string(std::string text, int line, int col) {
+    text.push_back(advance());  // opening '"' (advance fine: no splice here)
+    std::string delim;
+    while (i_ < s_.size() && s_[i_] != '(' && s_[i_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(s_[i_]);
+      raw_advance();
+    }
+    text += delim;
+    if (i_ < s_.size() && s_[i_] == '(') {
+      text.push_back('(');
+      raw_advance();
+    }
+    const std::string closer = ")" + delim + "\"";
+    while (i_ < s_.size()) {
+      if (s_.compare(i_, closer.size(), closer) == 0) {
+        for (std::size_t k = 0; k < closer.size(); ++k) {
+          text.push_back(s_[i_]);
+          raw_advance();
+        }
+        udl_suffix(text);
+        emit(TokKind::kString, std::move(text), line, col);
+        return;
+      }
+      text.push_back(s_[i_]);
+      raw_advance();
+    }
+    emit(TokKind::kString, std::move(text), line, col);  // unterminated
+  }
+
+  void raw_advance() {
+    if (i_ >= s_.size()) return;
+    if (s_[i_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+
+  // pp-number: digits, identifier characters, `.`, digit separators and
+  // signed exponents, all one token (UDL suffixes like `10ms` included).
+  void number() {
+    int line = line_, col = col_;
+    std::string text;
+    text.push_back(advance());
+    while (!at_end()) {
+      char c = cur();
+      if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+          (peek(1) == '+' || peek(1) == '-')) {
+        text.push_back(advance());
+        text.push_back(advance());
+        continue;
+      }
+      if (c == '\'' && ident_cont(peek(1))) {
+        text.push_back(advance());
+        continue;
+      }
+      if (ident_cont(c) || c == '.') {
+        text.push_back(advance());
+        continue;
+      }
+      break;
+    }
+    emit(TokKind::kNumber, std::move(text), line, col);
+  }
+
+  // --- punctuation -------------------------------------------------------
+
+  void punct() {
+    int line = line_, col = col_;
+    char c0 = cur(), c1 = peek(1), c2 = peek(2);
+    // %:%: -> ##
+    if (c0 == '%' && c1 == ':' && c2 == '%' && peek(3) == ':') {
+      advance(); advance(); advance(); advance();
+      emit(TokKind::kPunct, "##", line, col);
+      return;
+    }
+    // Digraphs, normalized to primary spellings.  `<::` where the next
+    // character is neither `:` nor `>` is `<` followed by `::`, not `[:`.
+    if (c0 == '<' && c1 == ':') {
+      if (c2 == ':' && peek(3) != ':' && peek(3) != '>') {
+        advance();
+        emit(TokKind::kPunct, "<", line, col);
+        return;
+      }
+      advance(); advance();
+      emit(TokKind::kPunct, "[", line, col);
+      return;
+    }
+    if (c0 == '%' && c1 == '>') { advance(); advance(); emit(TokKind::kPunct, "}", line, col); return; }
+    if (c0 == '<' && c1 == '%') { advance(); advance(); emit(TokKind::kPunct, "{", line, col); return; }
+    if (c0 == ':' && c1 == '>') { advance(); advance(); emit(TokKind::kPunct, "]", line, col); return; }
+    if (c0 == '%' && c1 == ':') { advance(); advance(); emit(TokKind::kPunct, "#", line, col); return; }
+
+    static constexpr std::array<std::string_view, 5> k3 = {"...", "<<=", ">>=",
+                                                           "->*", "<=>"};
+    std::string three{c0, c1, c2};
+    for (auto op : k3) {
+      if (three == op) {
+        advance(); advance(); advance();
+        emit(TokKind::kPunct, std::string(op), line, col);
+        return;
+      }
+    }
+    static constexpr std::array<std::string_view, 21> k2 = {
+        "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+        "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "##"};
+    std::string two{c0, c1};
+    for (auto op : k2) {
+      if (two == op) {
+        advance(); advance();
+        emit(TokKind::kPunct, std::string(op), line, col);
+        return;
+      }
+    }
+    advance();
+    emit(TokKind::kPunct, std::string(1, c0), line, col);
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  int line_ = 1, col_ = 1;
+  bool at_line_start_ = true;
+  bool in_directive_ = false;
+  bool want_directive_name_ = false;
+  std::string directive_;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace dcs::lint

@@ -1,0 +1,70 @@
+// Token-level C++ lexer for dcs-lint.
+//
+// Deliberately not a compiler front end: it produces a flat token stream
+// (identifiers, literals, punctuation) plus a side list of comments, which
+// is exactly enough for the invariant rules in rules.hpp to pattern-match
+// on.  What it does get right — because false positives would make the
+// linter unusable — are the lexical edge cases of real C++:
+//
+//   - line splices (`\` + newline) anywhere, including inside identifiers,
+//     string literals, `//` comments and preprocessor directives;
+//   - raw string literals `R"delim(...)delim"` with arbitrary delimiters
+//     (no splice or escape processing inside, per the standard);
+//   - block comments, which do NOT nest: `/* /* */` ends at the first `*/`;
+//   - digraphs (`<%`, `%>`, `<:`, `:>`, `%:`, `%:%:`), normalized to their
+//     primary spellings, including the `<::` disambiguation so
+//     `std::vector<::Foo>` does not lex `<:` as `[`;
+//   - pp-numbers with digit separators (`1'000'000`), exponents and
+//     user-defined literal suffixes (`10ms`, `0x1Fu`), kept as one token;
+//   - encoding prefixes and UDL suffixes on string/char literals
+//     (`u8"x"`, `"abc"sv`), kept as one token.
+//
+// Tokens carry 1-based physical line/column of their first character and a
+// flag for "inside a preprocessor directive" plus the directive's name, so
+// rules can skip macro definitions and the include-graph walker can find
+// `#include` operands without re-scanning text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcs::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifiers and keywords (no distinction needed here)
+  kNumber,  // pp-number, including UDL suffix
+  kString,  // string literal incl. prefix/quotes/UDL suffix; raw strings too
+  kChar,    // character literal incl. prefix/quotes/UDL suffix
+  kPunct,   // operators/punctuators, digraphs normalized
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;  // normalized spelling (splices removed, digraphs mapped)
+  int line = 0;      // 1-based physical line of first character
+  int col = 0;       // 1-based column of first character
+  bool in_directive = false;  // token is part of a preprocessor directive
+  std::string directive;      // directive name ("include", "define", ...) if
+                              // known by the time this token was lexed
+};
+
+struct Comment {
+  std::string text;  // raw comment text including the // or /* */ delimiters
+  int line = 0;      // first physical line
+  int end_line = 0;  // last physical line (block comments may span lines)
+  int col = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Lexes a whole translation-unit source text.  Total: never throws, never
+/// fails; pathological input (unterminated literal/comment) simply ends the
+/// current token at end of file.
+LexedFile lex(std::string_view src);
+
+}  // namespace dcs::lint

@@ -1,0 +1,9 @@
+// The dcs-lint tool — in-tree static analyzer for the repo's determinism,
+// concurrency and instrumentation invariants (docs/LINT.md).
+//
+// Thin main over src/lint — the tool builds with the plain GCC toolchain
+// (no libclang), so unlike the clang-tidy wrapper it runs everywhere and
+// never self-skips.
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) { return dcs::lint::lint_main(argc, argv); }
