@@ -30,9 +30,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <numeric>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -41,7 +44,11 @@
 #include "dlm/ncosed.hpp"
 #include "fabric/fabric.hpp"
 #include "harness.hpp"
+#include "monitor/telemetry.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/shard.hpp"
+#include "trace/flight.hpp"
 #include "trace/shard_metrics.hpp"
 #include "trace/trace.hpp"
 
@@ -55,6 +62,10 @@ constexpr std::uint64_t kResp = 2;  // a = global node key, b = original send ti
 constexpr std::size_t kAllocs = 8;       // DDSS allocations per partition
 constexpr std::size_t kValueBytes = 64;  // payload size of every put/get
 
+constexpr std::uint32_t kNoHotShard = ~0u;
+/// A served request slower than this counts against the slow-serve budget.
+constexpr SimNanos kSlowServeNs = 20000;
+
 struct ScaleConfig {
   std::size_t nodes = 1024;
   std::uint32_t partitions = 16;
@@ -63,6 +74,12 @@ struct ScaleConfig {
   std::uint32_t clients = 4;  // client strands per partition
   std::uint32_t ops = 24;     // requests per client strand
   double alpha = 0.9;         // Zipf skew over the global node space
+  /// Partition whose serve path gets extra CPU (an injected SLO breach);
+  /// kNoHotShard disables the injection.
+  std::uint32_t hot_shard = kNoHotShard;
+  std::uint64_t scrape_us = 25;  // telemetry scrape cadence (virtual us)
+  std::uint64_t scrapes = 20;    // scrape sweeps per partition
+  bool observe = false;          // --timeseries-out / --slo requested
 };
 
 /// Everything one partition owns: a Fabric slice of the datacenter plus the
@@ -87,6 +104,75 @@ struct PartitionHost {
   dlm::NcosedLockManager locks;
   ZipfSampler zipf;
   std::vector<ddss::Allocation> allocs;
+  /// Per-partition serve-path registry: the telemetry exporter mirrors
+  /// THIS registry (not the worker's thread-local one), so the exported
+  /// page is a function of the partition, never of the --shards layout.
+  trace::Registry serve_reg;
+};
+
+/// The telemetry page layout both sides agree on (docs/OBSERVABILITY.md):
+/// serve-path throughput, the slow-serve budget counter and the serve
+/// latency log-histogram.
+monitor::TelemetrySchema serve_schema() {
+  using monitor::MetricKind;
+  return monitor::TelemetrySchema(
+      std::vector<monitor::TelemetrySchema::Entry>{
+          {DCS_SERIES("scale.serve.latency_ns"), MetricKind::kHistogram},
+          {DCS_SERIES("scale.serve.slow"), MetricKind::kCounter},
+          {DCS_SERIES("scale.serve.total"), MetricKind::kCounter}});
+}
+
+/// What one partition's health plane hands back to the main thread after
+/// the run: its slice of the cluster time-series plus its alert stream.
+struct PartitionDump {
+  obs::TimeSeriesStore store;
+  std::vector<obs::AlertEvent> alerts;
+  std::uint64_t scrapes = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t flight_trips = 0;
+  std::vector<std::string> dump_paths;
+};
+
+/// Per-partition observability plane: an RDMA-Sync exporter/scraper pair
+/// over the partition's serve registry, a windowed time-series store and
+/// an SLO engine wired into a flight recorder.  Lives on the partition's
+/// owning worker (Shard::keep_alive), like PartitionHost.
+struct ObsPlane {
+  ObsPlane(sim::Shard& shard, PartitionHost& host, const ScaleConfig& cfg,
+           const bench::HarnessOptions& opts,
+           const std::vector<obs::SloRule>& extra_rules)
+      : exporter(host.net, /*node=*/0, serve_schema(),
+                 microseconds(cfg.scrape_us), &host.serve_reg),
+        scraper(host.net, /*frontend=*/host.fab.size() > 1 ? 1 : 0),
+        store({.window = microseconds(cfg.scrape_us), .retention = 64}),
+        slo(store),
+        flight(shard.engine(),
+               trace::FlightConfig{
+                   .postmortem_dir = opts.postmortem_dir,
+                   .prefix = "datacenter_scale.p" +
+                             std::to_string(shard.index())}) {
+    scraper.attach(exporter);
+    obs::SloRule burn;
+    burn.name = DCS_SLO_NAME("serve-slow-burn");
+    burn.kind = obs::SloKind::kBurnRate;
+    burn.series = DCS_SERIES("scale.serve.slow");
+    burn.total = DCS_SERIES("scale.serve.total");
+    burn.threshold = 0.05;  // 5% slow-serve budget
+    burn.fast_windows = 2;
+    burn.slow_windows = 8;
+    burn.fast_burn = 4.0;
+    burn.slow_burn = 2.0;
+    burn.trip_postmortem = true;  // dumps only when --postmortem-dir is set
+    slo.add_rule(std::move(burn));
+    for (const auto& rule : extra_rules) slo.add_rule(rule);
+    slo.set_flight(&flight);
+  }
+
+  monitor::TelemetryExporter exporter;
+  monitor::TelemetryScraper scraper;
+  obs::TimeSeriesStore store;
+  obs::SloEngine slo;
+  trace::FlightRecorder flight;
 };
 
 // Coroutines below are free functions taking the shared host by value: a
@@ -95,19 +181,61 @@ struct PartitionHost {
 // captures).
 
 /// Serves one remote request on the partition that owns the node: host CPU
-/// slices on the keyed node, a DDSS get, then the reply crosses back.
+/// slices on the keyed node, a DDSS get, then the reply crosses back.  The
+/// serve path feeds the partition's serve registry (throughput, slow-serve
+/// budget, latency histogram) — the series the scraped health plane
+/// judges.  On the --hot-shard partition every serve burns extra CPU, an
+/// injected breach the SLO burn-rate rule must catch.
 sim::Task<void> serve_request(sim::Shard& shard,
                               std::shared_ptr<PartitionHost> host,
-                              sim::ShardMsg msg) {
+                              ScaleConfig cfg, sim::ShardMsg msg) {
+  const auto t0 = shard.engine().now();
   const auto local_nodes = host->fab.size();
   const auto node = static_cast<fabric::NodeId>(msg.a % local_nodes);
   co_await host->fab.node(node).execute(microseconds(1) +
                                         (msg.a % 4) * nanoseconds(500));
+  if (shard.index() == cfg.hot_shard) {
+    co_await host->fab.node(node).execute(microseconds(40));
+  }
   DCS_CHECK_MSG(!host->allocs.empty(), "request arrived before boot finished");
   std::array<std::byte, kValueBytes> buf{};
   auto client = host->substrate.client(node);
   co_await client.get(host->allocs[msg.a % host->allocs.size()], buf);
+  const SimNanos served_in = shard.engine().now() - t0;
+  host->serve_reg.counter("scale.serve.total").add(1);
+  if (served_in > kSlowServeNs) host->serve_reg.counter("scale.serve.slow").add(1);
+  host->serve_reg.histogram("scale.serve.latency_ns")
+      .record(static_cast<std::uint64_t>(served_in));
   shard.send(msg.src, kResp, msg.a, msg.b);
+}
+
+/// The health-plane strand: periodic RDMA-Sync sweeps of the partition's
+/// telemetry page at virtual-time cadence (zero target CPU — the read is
+/// one-sided), each sweep ingesting into the windowed store and
+/// re-evaluating the SLO rules.  After the last sweep the partition's
+/// slice of the cluster dump is parked in its result slot, keyed by
+/// partition index, so the merged dump is independent of --shards.
+sim::Task<void> scrape_strand(sim::Shard& shard,
+                              std::shared_ptr<ObsPlane> obs, ScaleConfig cfg,
+                              std::vector<PartitionDump>* slots) {
+  auto& eng = shard.engine();
+  const SimNanos interval = microseconds(cfg.scrape_us);
+  // Offset by half a window so sweeps land strictly between the exporter's
+  // periodic mirrors instead of racing them at equal timestamps.
+  co_await eng.delay(interval / 2);
+  for (std::uint64_t pass = 0; pass < cfg.scrapes; ++pass) {
+    co_await eng.delay(interval);
+    const auto snap = co_await obs->scraper.scrape(/*target=*/0);
+    obs->store.ingest(shard.index(), obs->exporter.schema(), snap);
+    obs->slo.evaluate(eng.now());
+  }
+  PartitionDump& slot = (*slots)[shard.index()];
+  slot.store = obs->store;
+  slot.alerts = obs->slo.alerts();
+  slot.scrapes = obs->scraper.scrapes();
+  slot.publishes = obs->exporter.publishes();
+  slot.flight_trips = obs->flight.trips();
+  slot.dump_paths = obs->flight.dump_paths();
 }
 
 /// One client strand: Zipf-keyed requests over the global node space.
@@ -168,14 +296,17 @@ sim::Task<void> boot(sim::Shard& shard, std::shared_ptr<PartitionHost> host,
   }
 }
 
-void setup_partition(sim::Shard& shard, const ScaleConfig& cfg) {
+void setup_partition(sim::Shard& shard, const ScaleConfig& cfg,
+                     const bench::HarnessOptions& opts,
+                     const std::vector<obs::SloRule>& extra_rules,
+                     std::vector<PartitionDump>* slots) {
   auto host = std::make_shared<PartitionHost>(shard.engine(), cfg);
   host->substrate.start();
-  shard.set_handler([host](sim::Shard& s, const sim::ShardMsg& msg) {
+  shard.set_handler([host, cfg](sim::Shard& s, const sim::ShardMsg& msg) {
     auto& reg = trace::Registry::global();
     if (msg.tag == kReq) {
       reg.counter("scale.remote.served").add(1);
-      s.engine().spawn(serve_request(s, host, msg));
+      s.engine().spawn(serve_request(s, host, cfg, msg));
     } else {
       reg.counter("scale.remote.resp").add(1);
       reg.counter("scale.remote.rtt_total_ns").add(s.engine().now() - msg.b);
@@ -183,6 +314,13 @@ void setup_partition(sim::Shard& shard, const ScaleConfig& cfg) {
   });
   shard.engine().spawn(boot(shard, host, cfg));
   shard.keep_alive(host);
+  if (cfg.observe) {
+    auto obs = std::make_shared<ObsPlane>(shard, *host, cfg, opts,
+                                          extra_rules);
+    obs->exporter.start(cfg.scrapes + 1);
+    shard.engine().spawn(scrape_strand(shard, obs, cfg, slots));
+    shard.keep_alive(obs);
+  }
 }
 
 std::uint64_t counter_value(const char* name) {
@@ -200,11 +338,23 @@ bool parse_u64(const char* arg, const char* flag, std::uint64_t* out) {
 int run(const ScaleConfig& cfg, const bench::HarnessOptions& opts) {
   using Clock = std::chrono::steady_clock;
   trace::Registry::global().reset();
+  std::vector<obs::SloRule> extra_rules;
+  if (!opts.slo_rules.empty()) {
+    std::string error;
+    extra_rules = obs::parse_slo_rules_file(opts.slo_rules, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "datacenter_scale: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  std::vector<PartitionDump> slots(cfg.partitions);
   const auto wall_start = Clock::now();
   sim::ShardedEngine sharded({.partitions = cfg.partitions,
                               .workers = cfg.shards,
                               .lookahead = fabric::FabricParams{}.link_latency});
-  sharded.setup([&cfg](sim::Shard& shard) { setup_partition(shard, cfg); });
+  sharded.setup([&cfg, &opts, &extra_rules, &slots](sim::Shard& shard) {
+    setup_partition(shard, cfg, opts, extra_rules, &slots);
+  });
   sharded.run();
   const auto wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -240,6 +390,56 @@ int run(const ScaleConfig& cfg, const bench::HarnessOptions& opts) {
               "%.0f events/sec\n",
               static_cast<double>(wall_ns) / 1e6,
               static_cast<double>(busiest_worker_ns) / 1e6, eps);
+
+  if (cfg.observe) {
+    // Merge the per-partition health planes in partition order.  Node sets
+    // are disjoint (each partition ingests under its own index), so the
+    // merged dump — like the fingerprint — is byte-identical for every
+    // --shards value.
+    obs::TimeSeriesStore merged(
+        {.window = microseconds(cfg.scrape_us), .retention = 64});
+    obs::SloEngine merged_slo(merged);
+    std::uint64_t scrapes = 0, trips = 0;
+    std::vector<std::string> dumps;
+    for (const PartitionDump& slot : slots) {
+      merged.merge(slot.store);
+      merged_slo.absorb(slot.alerts);
+      scrapes += slot.scrapes;
+      trips += slot.flight_trips;
+      dumps.insert(dumps.end(), slot.dump_paths.begin(),
+                   slot.dump_paths.end());
+    }
+    std::map<std::pair<std::string, std::uint32_t>, bool> final_state;
+    for (const auto& a : merged_slo.alerts()) {
+      final_state[{a.rule, a.node}] = a.firing;
+    }
+    std::size_t firing = 0;
+    for (const auto& [key, last] : final_state) {
+      (void)key;
+      if (last) ++firing;
+    }
+    std::printf("  health plane     %" PRIu64 " scrapes, %zu alert "
+                "transition(s), %zu firing at end, %" PRIu64
+                " flight trip(s)\n",
+                scrapes, merged_slo.alerts().size(), firing, trips);
+    for (const auto& path : dumps) std::printf("  postmortem: %s\n", path.c_str());
+    if (!merged_slo.alerts().empty()) {
+      std::ostringstream stream;
+      obs::write_alert_stream(stream, merged_slo.alerts());
+      std::fputs(stream.str().c_str(), stdout);
+    }
+    if (!opts.timeseries_out.empty()) {
+      std::ofstream os(opts.timeseries_out);
+      if (!os) {
+        std::fprintf(stderr, "bench: cannot open %s\n",
+                     opts.timeseries_out.c_str());
+        return 1;
+      }
+      obs::write_timeseries_json(os, merged, merged_slo.alerts());
+      std::fprintf(stderr, "bench: %zu series -> %s\n", merged.all().size(),
+                   opts.timeseries_out.c_str());
+    }
+  }
 
   if (!opts.wall_json.empty()) {
     std::ofstream os(opts.wall_json);
@@ -301,11 +501,19 @@ int main(int argc, char** argv) {
       cfg.clients = static_cast<std::uint32_t>(v);
     } else if (dcs::parse_u64(argv[i], "--ops", &v)) {
       cfg.ops = static_cast<std::uint32_t>(v);
+    } else if (dcs::parse_u64(argv[i], "--hot-shard", &v)) {
+      cfg.hot_shard = static_cast<std::uint32_t>(v);
+    } else if (dcs::parse_u64(argv[i], "--scrape-us", &v)) {
+      cfg.scrape_us = v;
+    } else if (dcs::parse_u64(argv[i], "--scrapes", &v)) {
+      cfg.scrapes = v;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--nodes=N] [--partitions=P] [--shards=W] "
-                   "[--seed=S] [--clients=C] [--ops=K] "
-                   "[--bench-wall-json FILE]\n",
+                   "[--seed=S] [--clients=C] [--ops=K] [--hot-shard=P] "
+                   "[--scrape-us=U] [--scrapes=K] [--bench-wall-json FILE] "
+                   "[--timeseries-out FILE] [--slo FILE] "
+                   "[--postmortem-dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -316,5 +524,10 @@ int main(int argc, char** argv) {
                  "--partitions\n");
     return 2;
   }
+  if (cfg.hot_shard != dcs::kNoHotShard && cfg.hot_shard >= cfg.partitions) {
+    std::fprintf(stderr, "datacenter_scale: --hot-shard out of range\n");
+    return 2;
+  }
+  cfg.observe = !opts.timeseries_out.empty() || !opts.slo_rules.empty();
   return dcs::run(cfg, opts);
 }

@@ -48,6 +48,8 @@ HarnessOptions extract_harness_flags(int& argc, char** argv) {
   opts.bench_json = take_flag(argc, argv, "--bench-json");
   opts.wall_json = take_flag(argc, argv, "--bench-wall-json");
   opts.critical_path = take_flag(argc, argv, "--critical-path");
+  opts.timeseries_out = take_flag(argc, argv, "--timeseries-out");
+  opts.slo_rules = take_flag(argc, argv, "--slo");
   opts.trace_out = take_flag(argc, argv, "--trace-out");
   opts.metrics_out = take_flag(argc, argv, "--metrics-out");
   opts.postmortem_dir = take_flag(argc, argv, "--postmortem-dir");
@@ -100,6 +102,12 @@ void Harness::run(const std::string& scenario,
     std::ostringstream reg;
     trace::Registry::global().write_json(reg);
     snap.registry_json = reg.str();
+  }
+  if (!opts_.timeseries_out.empty() || !opts_.slo_rules.empty()) {
+    // Scenario ordinal as node id: each scenario is "one node" of the
+    // bench's cluster dump, so per-scenario history stays disjoint.
+    store_.ingest_registry(static_cast<std::uint32_t>(snapshots_.size()),
+                           eng.now(), trace::Registry::global());
   }
   const trace::CriticalPath cp(tracer);
   if (cp.aggregate().count > 0) {
@@ -197,6 +205,40 @@ int Harness::finish() {
         if (sn.critical_path_report.empty()) continue;
         os << "== scenario " << sn.name << " ==\n"
            << sn.critical_path_report;
+      }
+    }
+  }
+  if (!opts_.timeseries_out.empty() || !opts_.slo_rules.empty()) {
+    obs::SloEngine slo(store_);
+    if (!opts_.slo_rules.empty()) {
+      std::string error;
+      auto rules = obs::parse_slo_rules_file(opts_.slo_rules, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "bench: %s\n", error.c_str());
+        rc = 1;
+      }
+      for (auto& rule : rules) slo.add_rule(std::move(rule));
+      SimNanos now = 0;
+      for (const Snapshot& sn : snapshots_) {
+        if (sn.virtual_ns > now) now = sn.virtual_ns;
+      }
+      slo.evaluate(now);
+      // The alert stream goes to stderr in both modes; firing alerts are
+      // diagnostics, not a failure (the exit code stays about file I/O).
+      std::ostringstream stream;
+      obs::write_alert_stream(stream, slo.alerts());
+      std::fputs(stream.str().c_str(), stderr);
+    }
+    if (!opts_.timeseries_out.empty()) {
+      std::ofstream os(opts_.timeseries_out);
+      if (!os) {
+        std::fprintf(stderr, "bench: cannot open %s\n",
+                     opts_.timeseries_out.c_str());
+        rc = 1;
+      } else {
+        obs::write_timeseries_json(os, store_, slo.alerts());
+        std::fprintf(stderr, "bench: %zu series -> %s\n",
+                     store_.all().size(), opts_.timeseries_out.c_str());
       }
     }
   }

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/engine.hpp"
 #include "trace/critical_path.hpp"
 #include "trace/observe.hpp"
@@ -48,6 +50,8 @@ namespace dcs::bench {
 ///   --bench-json FILE       canonical BENCH_<name>.json
 ///   --bench-wall-json FILE  wall-clock BENCH_<name>.wall.json
 ///   --critical-path FILE    plain-text attribution report
+///   --timeseries-out FILE   dcs-timeseries-v1 cluster time-series dump
+///   --slo FILE              SLO rule file evaluated against the dump
 /// Single-run observation flags (trace::ObservedRun):
 ///   --trace-out FILE        Chrome trace_event JSON
 ///   --metrics-out FILE      metrics registry dump
@@ -60,6 +64,8 @@ struct HarnessOptions {
   std::string bench_json;     // canonical BENCH_<name>.json
   std::string wall_json;      // wall-clock BENCH_<name>.wall.json
   std::string critical_path;  // plain-text attribution report
+  std::string timeseries_out; // dcs-timeseries-v1 dump (obs/timeseries.hpp)
+  std::string slo_rules;      // SLO rule file (obs/slo.hpp syntax)
   std::string trace_out;      // Chrome trace_event JSON file
   std::string metrics_out;    // plain-text metrics dump file
   std::string postmortem_dir; // flight-recorder dump directory
@@ -67,7 +73,7 @@ struct HarnessOptions {
   /// Multi-scenario telemetry requested (run the bench::Harness path).
   bool harness_mode() const {
     return !bench_json.empty() || !wall_json.empty() ||
-           !critical_path.empty();
+           !critical_path.empty() || !timeseries_out.empty();
   }
   /// Single-run observation requested (run the trace::ObservedRun path).
   bool observe_mode() const {
@@ -121,6 +127,9 @@ class Harness {
 
   /// Runs `body` under a fresh engine, reset registry, and installed
   /// tracer, then snapshots the results.  Scenarios run in call order.
+  /// When --timeseries-out / --slo is set, the scenario's final registry
+  /// additionally ingests into the cluster time-series store, with the
+  /// scenario ordinal standing in as the node id.
   void run(const std::string& scenario,
            const std::function<void(Scenario&)>& body);
 
@@ -149,6 +158,7 @@ class Harness {
   std::string bench_;
   HarnessOptions opts_;
   std::vector<Snapshot> snapshots_;
+  obs::TimeSeriesStore store_;
 };
 
 }  // namespace dcs::bench

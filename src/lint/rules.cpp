@@ -205,7 +205,7 @@ void rule_r3(const SourceFile& f, const RepoModel& model,
 struct TraceMacro {
   std::string_view name;
   int first_literal_arg;  // 0-based argument positions that must be literals
-  int second_literal_arg;
+  int second_literal_arg;  // -1: the macro has a single checked argument
 };
 
 const std::vector<TraceMacro>& r4_macros() {
@@ -214,6 +214,11 @@ const std::vector<TraceMacro>& r4_macros() {
       {"DCS_TRACE_INSTANT", 0, 1},
       {"DCS_TRACE_COST_SPAN", 1, 2},
       {"DCS_LOG", 0, 1},
+      // Observability names: time-series ingest/rule sites and SLO rule
+      // names must be grep-able literals, or the dcs-timeseries-v1 dump's
+      // byte stability rests on runtime string values.
+      {"DCS_SERIES", 0, -1},
+      {"DCS_SLO_NAME", 0, -1},
   };
   return kMacros;
 }
@@ -247,7 +252,7 @@ void rule_r4(const SourceFile& f, std::vector<Finding>& out) {
       args.back().push_back(&toks[j]);
     }
     for (int pos : {macro->first_literal_arg, macro->second_literal_arg}) {
-      if (pos >= static_cast<int>(args.size())) continue;
+      if (pos < 0 || pos >= static_cast<int>(args.size())) continue;
       const auto& arg = args[static_cast<std::size_t>(pos)];
       bool literal = !arg.empty();
       std::string text;

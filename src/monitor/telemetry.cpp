@@ -9,7 +9,7 @@ namespace dcs::monitor {
 
 namespace {
 
-/// Schema export value for one registry metric (0.0 when absent).
+/// Scalar export value for one registry metric (0.0 when absent).
 double metric_value(const trace::Registry& reg, const std::string& name) {
   if (const auto* c = reg.find_counter(name)) {
     return static_cast<double>(c->value);
@@ -26,13 +26,30 @@ double metric_value(const trace::Registry& reg, const std::string& name) {
 
 }  // namespace
 
-TelemetrySchema::TelemetrySchema(std::vector<std::string> names)
-    : names_(std::move(names)) {
-  DCS_CHECK(!names_.empty());
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+TelemetrySchema::TelemetrySchema(std::vector<std::string> names) {
+  DCS_CHECK(!names.empty());
+  entries_.reserve(names.size());
+  for (std::string& name : names) {
+    entries_.push_back(Entry{std::move(name), MetricKind::kCounter});
+  }
+}
+
+TelemetrySchema::TelemetrySchema(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  DCS_CHECK(!entries_.empty());
 }
 
 TelemetrySchema TelemetrySchema::standard() {
-  return TelemetrySchema({
+  return TelemetrySchema(std::vector<std::string>{
       "verbs.read.ops",
       "verbs.write.ops",
       "verbs.send.msgs",
@@ -48,6 +65,19 @@ TelemetrySchema TelemetrySchema::standard() {
   });
 }
 
+std::vector<std::string> TelemetrySchema::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::size_t TelemetrySchema::page_bytes() const {
+  std::size_t total = 8;  // export seq
+  for (const Entry& e : entries_) total += entry_bytes(e.kind);
+  return total;
+}
+
 double TelemetrySnapshot::value(const std::string& name) const {
   for (const auto& [n, v] : values) {
     if (n == name) return v;
@@ -55,9 +85,22 @@ double TelemetrySnapshot::value(const std::string& name) const {
   return 0.0;
 }
 
+const HistogramSnapshot* TelemetrySnapshot::hist(
+    const std::string& name) const {
+  for (const auto& [n, h] : hists) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
 TelemetryExporter::TelemetryExporter(verbs::Network& net, NodeId node,
-                                     TelemetrySchema schema, SimNanos interval)
-    : net_(net), node_(node), schema_(std::move(schema)), interval_(interval) {
+                                     TelemetrySchema schema, SimNanos interval,
+                                     const trace::Registry* source)
+    : net_(net),
+      node_(node),
+      schema_(std::move(schema)),
+      interval_(interval),
+      source_(source) {
   region_ = net_.hca(node_).allocate_region(schema_.page_bytes());
   // Like the kernel stats page: rewritten continuously while monitors
   // RDMA-read it; torn snapshots are tolerated monitoring data.
@@ -73,27 +116,44 @@ void TelemetryExporter::publish() {
                                                        schema_.page_bytes());
   ++seq_;
   std::memcpy(page.data(), &seq_, 8);
-  const auto& reg = trace::Registry::global();
+  const trace::Registry& reg =
+      source_ != nullptr ? *source_ : trace::Registry::global();
   std::size_t off = 8;
-  for (const std::string& name : schema_.names()) {
-    const double v = metric_value(reg, name);
+  for (const TelemetrySchema::Entry& entry : schema_.entries()) {
+    if (entry.kind == MetricKind::kHistogram) {
+      const auto* h = reg.find_histogram(entry.name);
+      const std::uint64_t count = h != nullptr ? h->hist.count() : 0;
+      std::memcpy(page.data() + off, &count, 8);
+      off += 8;
+      for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+        const std::uint64_t n = h != nullptr ? h->hist.bucket_count(b) : 0;
+        std::memcpy(page.data() + off, &n, 8);
+        off += 8;
+      }
+      continue;
+    }
+    const double v = metric_value(reg, entry.name);
     std::memcpy(page.data() + off, &v, 8);
     off += 8;
   }
 }
 
-void TelemetryExporter::start() {
+void TelemetryExporter::start(std::uint64_t passes) {
   DCS_CHECK(!started_);
   started_ = true;
   publish();
   net_.fabric().engine().spawn(
-      [](TelemetryExporter& self) -> sim::Task<void> {
+      [](TelemetryExporter& self, std::uint64_t remaining) -> sim::Task<void> {
         auto& eng = self.net_.fabric().engine();
-        for (;;) {
+        // remaining == 0: mirror forever (the PR 3 contract for open-ended
+        // runs); otherwise the daemon ends after that many passes so a
+        // drain-to-empty run terminates.
+        for (std::uint64_t pass = 0; remaining == 0 || pass < remaining;
+             ++pass) {
           co_await eng.delay(self.interval_);
           self.publish();
         }
-      }(*this));
+      }(*this, passes));
 }
 
 TelemetryScraper::TelemetryScraper(verbs::Network& net, NodeId frontend)
@@ -101,7 +161,7 @@ TelemetryScraper::TelemetryScraper(verbs::Network& net, NodeId frontend)
 
 void TelemetryScraper::attach(const TelemetryExporter& exporter) {
   attached_[exporter.node()] =
-      Attached{exporter.region(), exporter.schema().names()};
+      Attached{exporter.region(), exporter.schema().entries()};
 }
 
 sim::Task<TelemetrySnapshot> TelemetryScraper::scrape(NodeId target) {
@@ -114,13 +174,28 @@ sim::Task<TelemetrySnapshot> TelemetryScraper::scrape(NodeId target) {
   TelemetrySnapshot snap;
   std::memcpy(&snap.seq, img.data(), 8);
   snap.scraped_at = net_.fabric().engine().now();
-  snap.values.reserve(a.names.size());
+  snap.values.reserve(a.entries.size());
   std::size_t off = 8;
-  for (const std::string& name : a.names) {
+  for (const TelemetrySchema::Entry& entry : a.entries) {
+    if (entry.kind == MetricKind::kHistogram) {
+      HistogramSnapshot h;
+      std::memcpy(&h.count, img.data() + off, 8);
+      off += 8;
+      h.buckets.resize(LogHistogram::kBuckets);
+      for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+        std::memcpy(&h.buckets[b], img.data() + off, 8);
+        off += 8;
+      }
+      // Scalar consumers see the count; shape consumers read `hists`.
+      snap.values.emplace_back(entry.name,
+                               static_cast<double>(h.count));
+      snap.hists.emplace_back(entry.name, std::move(h));
+      continue;
+    }
     double v = 0.0;
     std::memcpy(&v, img.data() + off, 8);
     off += 8;
-    snap.values.emplace_back(name, v);
+    snap.values.emplace_back(entry.name, v);
   }
   co_return snap;
 }

@@ -22,48 +22,38 @@
 #include <utility>
 #include <vector>
 
+#include "monitor/telemetry_schema.hpp"
 #include "verbs/verbs.hpp"
+
+namespace dcs::trace {
+class Registry;
+}  // namespace dcs::trace
 
 namespace dcs::monitor {
 
 using fabric::NodeId;
 
-/// Ordered metric-name list shared by exporter and scraper.
-class TelemetrySchema {
- public:
-  explicit TelemetrySchema(std::vector<std::string> names);
-  /// Curated default: the cross-layer counters the ops dashboard shows.
-  static TelemetrySchema standard();
-
-  const std::vector<std::string>& names() const { return names_; }
-  /// Page layout: u64 seq + one f64 per metric.
-  std::size_t page_bytes() const { return 8 + 8 * names_.size(); }
-
- private:
-  std::vector<std::string> names_;
-};
-
-/// One scraped snapshot: schema-ordered values plus the export sequence
-/// number (how many mirror passes the target's kernel has done).
-struct TelemetrySnapshot {
-  std::uint64_t seq = 0;
-  SimNanos scraped_at = 0;
-  std::vector<std::pair<std::string, double>> values;
-
-  /// 0.0 when `name` is not in the schema.
-  double value(const std::string& name) const;
-};
-
 /// Target-side: registers a telemetry page and mirrors the registry into
 /// it.  Mirroring is kernel-context work (like fabric::Node's kernel page
 /// sync): zero simulated CPU, so exporting costs the target nothing.
+///
+/// The mirror source defaults to the calling thread's
+/// trace::Registry::global().  Sharded workloads that want per-partition
+/// telemetry (independent of the `--shards` worker layout, where one
+/// thread-local registry accumulates several partitions) pass an explicit
+/// `source` registry instead.
 class TelemetryExporter {
  public:
   TelemetryExporter(verbs::Network& net, NodeId node, TelemetrySchema schema,
-                    SimNanos interval = milliseconds(1));
+                    SimNanos interval = milliseconds(1),
+                    const trace::Registry* source = nullptr);
 
   /// Spawns the periodic mirror daemon (and publishes once immediately).
-  void start();
+  /// `passes` bounds the daemon: after that many periodic mirrors the
+  /// strand ends, so bounded runs (ShardedEngine::run drains to empty) can
+  /// export without wedging the drain.  0 keeps the original behaviour:
+  /// mirror forever.
+  void start(std::uint64_t passes = 0);
   /// One immediate mirror pass.
   void publish();
 
@@ -78,6 +68,7 @@ class TelemetryExporter {
   NodeId node_;
   TelemetrySchema schema_;
   SimNanos interval_;
+  const trace::Registry* source_;  // nullptr: the thread's global registry
   verbs::RemoteRegion region_;
   std::uint64_t seq_ = 0;
   bool started_ = false;
@@ -99,7 +90,7 @@ class TelemetryScraper {
  private:
   struct Attached {
     verbs::RemoteRegion region;
-    std::vector<std::string> names;
+    std::vector<TelemetrySchema::Entry> entries;
   };
 
   verbs::Network& net_;

@@ -1,0 +1,102 @@
+// Telemetry page schema and scraped snapshots, shared by the exporter /
+// scraper pair (monitor/telemetry.hpp) and the time-series store
+// (obs/timeseries.hpp).
+//
+// Split out of telemetry.hpp so consumers that only interpret scraped
+// data — the obs layer's emitters in particular — depend on nothing but
+// plain value types.  This header must stay free of verbs/fabric includes:
+// it sits inside the byte-stable emit closure (dcs-lint rule R3), where
+// unordered containers and pointer-keyed maps are banned.
+//
+// The schema is an ordered entry list agreed out of band by exporter and
+// scraper, mimicking a real deployment where both sides ship the same
+// protocol version.  Two entry kinds exist on the wire:
+//
+//   scalar     8 bytes: the metric's value as f64 (counter value, gauge
+//              value, distribution/histogram count; absent names export 0).
+//              Declared as kCounter (monotonic; windowed as deltas) or
+//              kGauge (instantaneous; windowed as last-value).
+//   histogram  8 + 64*8 bytes: total count then every LogHistogram bucket
+//              as u64, so a scrape carries the full latency shape and the
+//              store can window bucket deltas (p99 ceilings need shape,
+//              not just counts).
+//
+// Page layout: u64 export seq, then each entry in schema order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace dcs::monitor {
+
+/// How a schema entry is laid out on the wire and windowed by the store.
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,    // monotonic scalar: store ingests per-window deltas
+  kGauge = 1,      // instantaneous scalar: store keeps last value per window
+  kHistogram = 2,  // count + 64 log-histogram buckets: windowed bucket deltas
+};
+
+/// Stable wire/report name ("counter", "gauge", "histogram").
+const char* to_string(MetricKind kind);
+
+/// Ordered metric-entry list shared by exporter and scraper.
+class TelemetrySchema {
+ public:
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+  };
+
+  /// All-scalar schema (every name exported as a monotonic counter) — the
+  /// original PR 3 shape, kept for existing callers.
+  explicit TelemetrySchema(std::vector<std::string> names);
+  explicit TelemetrySchema(std::vector<Entry> entries);
+  /// Curated default: the cross-layer counters the ops dashboard shows.
+  static TelemetrySchema standard();
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  /// Entry names in schema order (compatibility accessor).
+  std::vector<std::string> names() const;
+  /// Bytes one entry occupies on the page.
+  static std::size_t entry_bytes(MetricKind kind) {
+    return kind == MetricKind::kHistogram ? 8 + 8 * LogHistogram::kBuckets : 8;
+  }
+  /// Page layout: u64 seq + each entry's wire size.
+  std::size_t page_bytes() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Scraped histogram state: total count plus every bucket (bucket b counts
+/// values in [2^(b-1), 2^b); bucket 0 counts zeros — common/stats.hpp).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::vector<std::uint64_t> buckets;  // kBuckets entries when present
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// One scraped snapshot: schema-ordered values plus the export sequence
+/// number (how many mirror passes the target's kernel has done).  Scalar
+/// entries land in `values`; histogram entries land in `hists` (and in
+/// `values` as their count, so scalar-only consumers keep working).
+struct TelemetrySnapshot {
+  std::uint64_t seq = 0;
+  SimNanos scraped_at = 0;
+  std::vector<std::pair<std::string, double>> values;
+  std::vector<std::pair<std::string, HistogramSnapshot>> hists;
+
+  /// 0.0 when `name` is not in the schema.
+  double value(const std::string& name) const;
+  /// nullptr when `name` is not a histogram entry.
+  const HistogramSnapshot* hist(const std::string& name) const;
+};
+
+}  // namespace dcs::monitor

@@ -13,10 +13,12 @@
 // partitions recorded — identical for every worker count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/shard.hpp"
 #include "trace/trace.hpp"
 
@@ -33,6 +35,13 @@ inline void collect_shard_registries(sim::ShardedEngine& sharded) {
     Registry::global().reset();
   });
   for (const auto& slot : slots) Registry::global().merge(*slot);
+  // The collected registry must enumerate in sorted series-name order no
+  // matter how many workers contributed or in what order they merged —
+  // the byte-identity contract every emitter downstream of a sharded run
+  // (write_json, the obs time-series ingest) relies on.
+  const auto names = Registry::global().names();
+  DCS_CHECK_MSG(std::is_sorted(names.begin(), names.end()),
+                "collected shard registries out of (series name) order");
 }
 
 }  // namespace dcs::trace

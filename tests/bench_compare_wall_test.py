@@ -114,5 +114,44 @@ class EndToEndWallCompareTest(unittest.TestCase):
                 sys.argv = argv
 
 
+class SchemaGateTest(unittest.TestCase):
+    """load_benches: known sibling schemas skip, passthrough schemas note,
+    unknown schemas are a hard CompareError (exit 2 in main)."""
+
+    @staticmethod
+    def _write(directory, name, doc):
+        (directory / name).write_text(json.dumps(doc), encoding="utf-8")
+
+    def test_passthrough_schema_is_noted_and_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            self._write(tmp, "BENCH_health.json",
+                        {"schema": "dcs-timeseries-v1", "series": []})
+            self._write(tmp, "BENCH_ok.json",
+                        {"schema": "dcs-bench-v1", "bench": "ok",
+                         "scenarios": {}})
+            benches = bench_compare.load_benches(tmp)
+            self.assertEqual(set(benches), {"ok"})
+
+    def test_sibling_bench_schema_is_skipped_not_fatal(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            self._write(tmp, "BENCH_w.json",
+                        {"schema": "dcs-bench-wall-v1", "bench": "w",
+                         "scenarios": {}})
+            self.assertEqual(bench_compare.load_benches(tmp), {})
+
+    def test_unknown_schema_is_a_hard_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            self._write(tmp, "BENCH_future.json",
+                        {"schema": "dcs-bench-v9", "bench": "f",
+                         "scenarios": {}})
+            with self.assertRaises(bench_compare.CompareError) as ctx:
+                bench_compare.load_benches(tmp)
+            self.assertIn("unknown schema", str(ctx.exception))
+            self.assertIn("dcs-bench-v9", str(ctx.exception))
+
+
 if __name__ == "__main__":
     unittest.main()

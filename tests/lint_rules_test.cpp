@@ -188,6 +188,27 @@ TEST(LintRules, R4SkipsMacroDefinitionsAndAppliesEverywhere) {
   EXPECT_EQ(r.active[0].path, "tests/foo_test.cpp");
 }
 
+TEST(LintRules, R4FlagsRuntimeSeriesAndSloNames) {
+  // DCS_SERIES / DCS_SLO_NAME are single-argument macros: only the first
+  // argument is checked, and exactly one finding per bad site.
+  auto r = run({{"src/obs/rules.cpp",
+                 "void f(std::string metric, int shard) {\n"
+                 "  store.ingest(DCS_SERIES(metric + \".total\"), 1);\n"
+                 "  rule.name = DCS_SLO_NAME(\"burn-p\" + "
+                 "std::to_string(shard));\n"
+                 "}\n"}});
+  EXPECT_EQ(rules_of(r.active), (std::vector<std::string>{"R4", "R4"}));
+}
+
+TEST(LintRules, R4CleanLiteralSeriesAndSloNames) {
+  auto r = run({{"src/obs/rules.cpp",
+                 "void f() {\n"
+                 "  store.ingest(DCS_SERIES(\"scale.serve.total\"), 1);\n"
+                 "  rule.name = DCS_SLO_NAME(\"serve-slow\" \"-burn\");\n"
+                 "}\n"}});
+  EXPECT_TRUE(r.active.empty());
+}
+
 TEST(LintRules, R4AllowedWithReason) {
   auto r = run({{"src/verbs/qp.cpp",
                  "// dcs-lint: allow(R4, opcode set is a fixed enum table;\n"

@@ -38,6 +38,15 @@ class CompareError(Exception):
     """A user-facing input problem: print the message, exit 2, no traceback."""
 
 
+# Every top-level schema this repo's tools emit.  The bench schemas diff
+# here; the rest are other tools' inputs (dcs inspect / dcs top) and pass
+# through untouched.  Anything NOT listed is an unknown producer version —
+# a hard error, because silently skipping it would turn a schema bump into
+# a vacuous comparison.
+BENCH_SCHEMAS = {"dcs-bench-v1", "dcs-bench-wall-v1"}
+PASSTHROUGH_SCHEMAS = {"dcs-timeseries-v1", "dcs-postmortem-v1", "dcs-lint-v1"}
+
+
 def load_benches(directory: pathlib.Path, wall: bool = False):
     """Returns {bench_name: {scenario_name: scenario_dict}}."""
     if not directory.exists():
@@ -60,9 +69,20 @@ def load_benches(directory: pathlib.Path, wall: bool = False):
         if not isinstance(doc, dict):
             print(f"warning: {path} is not a JSON object, skipped")
             continue
-        if doc.get("schema") != schema:
-            print(f"warning: {path} has schema {doc.get('schema')!r}, skipped")
-            continue
+        got = doc.get("schema")
+        if got != schema:
+            if got in PASSTHROUGH_SCHEMAS:
+                print(f"note: {path} has schema {got}, passed through "
+                      "(not a bench comparison input)")
+                continue
+            if got in BENCH_SCHEMAS:
+                # The sibling bench schema: picked up by the other mode.
+                print(f"warning: {path} has schema {got!r}, skipped")
+                continue
+            raise CompareError(
+                f"error: {path} has unknown schema {got!r} "
+                f"(expected {schema!r}; known: "
+                f"{', '.join(sorted(BENCH_SCHEMAS | PASSTHROUGH_SCHEMAS))})")
         if "bench" not in doc:
             print(f"warning: {path} has no \"bench\" field, skipped")
             continue

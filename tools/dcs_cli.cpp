@@ -9,14 +9,18 @@
 //   dcs storm   --records 250000 --plane ddss
 //   dcs wedge   --scenario stall|deadline|violation --postmortem-dir pm
 //   dcs inspect pm/dcs_wedge_stall.engine-stall.1.postmortem.json --timeline 2
+//   dcs top     TIMESERIES.json [--self-check] [--node N] [--windows W]
+//   dcs flame   TRACE.json [--out profile.speedscope.json]
 //   dcs params
 //
 // All numbers are deterministic virtual-time results.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "audit/audit.hpp"
@@ -31,6 +35,10 @@
 #include "harness.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/watchdog.hpp"
+#include "obs/flame.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/top.hpp"
 #include "sim/sync.hpp"
 #include "storm/storm.hpp"
 #include "trace/flight.hpp"
@@ -75,6 +83,49 @@ trace::ObserveOptions observe_opts(const bench::HarnessOptions& flags,
   return flags.observe(std::string("dcs_") + command);
 }
 
+/// Scoped `--timeseries-out` / `--slo` handling for a run command: on
+/// scope exit the run's final registry ingests as node 0 of a one-node
+/// cluster dump, the SLO rules (if any) evaluate against it, and the
+/// dcs-timeseries-v1 dump / alert stream are written.  Declare after
+/// trace::ObservedRun so it runs first, while the registry is still live.
+class TimeSeriesScope {
+ public:
+  TimeSeriesScope(sim::Engine& eng, const bench::HarnessOptions& flags)
+      : eng_(eng), flags_(flags) {}
+  TimeSeriesScope(const TimeSeriesScope&) = delete;
+  TimeSeriesScope& operator=(const TimeSeriesScope&) = delete;
+  ~TimeSeriesScope() {
+    if (flags_.timeseries_out.empty() && flags_.slo_rules.empty()) return;
+    obs::TimeSeriesStore store;
+    store.ingest_registry(0, eng_.now(), trace::Registry::global());
+    obs::SloEngine slo(store);
+    if (!flags_.slo_rules.empty()) {
+      std::string error;
+      auto rules = obs::parse_slo_rules_file(flags_.slo_rules, &error);
+      if (!error.empty()) std::fprintf(stderr, "dcs: %s\n", error.c_str());
+      for (auto& rule : rules) slo.add_rule(std::move(rule));
+      slo.evaluate(eng_.now());
+      std::ostringstream stream;
+      obs::write_alert_stream(stream, slo.alerts());
+      std::fputs(stream.str().c_str(), stderr);
+    }
+    if (flags_.timeseries_out.empty()) return;
+    std::ofstream os(flags_.timeseries_out);
+    if (!os) {
+      std::fprintf(stderr, "dcs: cannot open %s\n",
+                   flags_.timeseries_out.c_str());
+      return;
+    }
+    obs::write_timeseries_json(os, store, slo.alerts());
+    std::fprintf(stderr, "dcs: %zu series -> %s\n", store.all().size(),
+                 flags_.timeseries_out.c_str());
+  }
+
+ private:
+  sim::Engine& eng_;
+  const bench::HarnessOptions& flags_;
+};
+
 int cmd_params() {
   const fabric::FabricParams p;
   Table t({"parameter", "value"});
@@ -116,6 +167,7 @@ int cmd_cache(const Args& args, const bench::HarnessOptions& flags) {
 
   sim::Engine eng;
   trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
+  TimeSeriesScope timeseries(eng, flags);
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 6 + proxies_n, .cores_per_node = 2,
                       .mem_per_node = 64u << 20});
@@ -170,6 +222,7 @@ int cmd_locks(const Args& args, const bench::HarnessOptions& flags) {
                                           : dlm::LockMode::kExclusive;
   sim::Engine eng;
   trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
+  TimeSeriesScope timeseries(eng, flags);
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = static_cast<std::size_t>(waiters + 4),
                       .cores_per_node = 2});
@@ -230,6 +283,7 @@ int cmd_monitor(const Args& args, const bench::HarnessOptions& flags) {
 
   sim::Engine eng;
   trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
+  TimeSeriesScope timeseries(eng, flags);
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 2, .cores_per_node = 1});
   verbs::Network net(fab);
@@ -273,6 +327,7 @@ int cmd_storm(const Args& args, const bench::HarnessOptions& flags) {
                          : storm::ControlPlane::kSockets;
   sim::Engine eng;
   trace::ObservedRun observed(eng, observe_opts(flags, __func__ + 4));
+  TimeSeriesScope timeseries(eng, flags);
   fabric::Fabric fab(eng, fabric::FabricParams{},
                      {.num_nodes = 5, .cores_per_node = 2});
   verbs::Network net(fab);
@@ -450,6 +505,68 @@ int cmd_inspect(int argc, char** argv) {
   return trace::inspect::run(file, opts, std::cout, std::cerr);
 }
 
+// --- top/flame: offline views over timeseries dumps and trace JSON ---
+
+int cmd_top(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dcs top TIMESERIES.json [--self-check] [--node N] "
+                 "[--windows W]\n");
+    return 2;
+  }
+  const std::string file = argv[2];
+  obs::TopOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "top: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--self-check") {
+      opts.self_check = true;
+    } else if (flag == "--node") {
+      opts.node = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (flag == "--windows") {
+      opts.windows = static_cast<std::size_t>(std::stoul(value()));
+    } else {
+      std::fprintf(stderr, "top: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  return obs::run_top(file, opts, std::cout, std::cerr);
+}
+
+int cmd_flame(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dcs flame TRACE.json [--out PROFILE.json]\n");
+    return 2;
+  }
+  const std::string file = argv[2];
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "flame: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (out_path.empty()) return obs::run_flame(file, std::cout, std::cerr);
+  std::ofstream os(out_path);
+  if (!os) {
+    std::fprintf(stderr, "flame: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  const int rc = obs::run_flame(file, os, std::cerr);
+  if (rc == 0) std::fprintf(stderr, "flame: -> %s\n", out_path.c_str());
+  return rc;
+}
+
 void usage() {
   std::printf(
       "usage: dcs <command> [--flag value ...]\n\n"
@@ -466,13 +583,21 @@ void usage() {
       "  inspect FILE [--node N] [--layer L] [--request R] [--from NS]\n"
       "          [--to NS] [--timeline R] [--top N] [--diff FILE]\n"
       "          [--self-check]   offline debugger over postmortem/trace "
-      "JSON\n\n"
-      "observability (any command except params/inspect):\n"
+      "JSON\n"
+      "  top     FILE [--self-check] [--node N] [--windows W]\n"
+      "          cluster health tables + firing alerts from a\n"
+      "          dcs-timeseries-v1 dump\n"
+      "  flame   FILE [--out PROFILE.json]\n"
+      "          span tree -> speedscope self-time profile from a\n"
+      "          --trace-out Chrome trace\n\n"
+      "observability (any command except params/inspect/top/flame):\n"
       "  --trace-out FILE      write a Chrome trace_event JSON of the run\n"
       "  --metrics-out FILE    write the metrics registry dump of the run\n"
       "  --critical-path FILE  write the critical-path attribution report\n"
       "  --bench-json FILE     write a dcs-bench-v1 telemetry snapshot\n"
-      "  --postmortem-dir DIR  arm a flight recorder; trips dump there\n");
+      "  --postmortem-dir DIR  arm a flight recorder; trips dump there\n"
+      "  --timeseries-out FILE write a dcs-timeseries-v1 dump of the run\n"
+      "  --slo FILE            evaluate SLO rules; alert stream to stderr\n");
 }
 
 }  // namespace
@@ -484,6 +609,8 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   if (cmd == "inspect") return cmd_inspect(argc, argv);
+  if (cmd == "top") return cmd_top(argc, argv);
+  if (cmd == "flame") return cmd_flame(argc, argv);
   const auto flags = bench::extract_harness_flags(argc, argv);
   const Args args(argc, argv);
   if (cmd == "params") return cmd_params();
