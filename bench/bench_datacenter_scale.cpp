@@ -223,10 +223,14 @@ sim::Task<void> scrape_strand(sim::Shard& shard,
   // Offset by half a window so sweeps land strictly between the exporter's
   // periodic mirrors instead of racing them at equal timestamps.
   co_await eng.delay(interval / 2);
+  // The batched scrape path: each sweep posts ONE work queue for every
+  // attached page (one here — the partition exports a single registry
+  // slice), so sweep cost scales with page count, not doorbell count.
+  const std::vector<fabric::NodeId> targets = {0};
   for (std::uint64_t pass = 0; pass < cfg.scrapes; ++pass) {
     co_await eng.delay(interval);
-    const auto snap = co_await obs->scraper.scrape(/*target=*/0);
-    obs->store.ingest(shard.index(), obs->exporter.schema(), snap);
+    const auto snaps = co_await obs->scraper.scrape_many(targets);
+    obs->store.ingest(shard.index(), obs->exporter.schema(), snaps[0]);
     obs->slo.evaluate(eng.now());
   }
   PartitionDump& slot = (*slots)[shard.index()];

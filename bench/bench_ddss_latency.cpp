@@ -146,6 +146,60 @@ int run_harness(const bench::HarnessOptions& opts) {
             s.metric("put_bytes", 4096);
           });
   }
+  // Batched sweep (--batch N picks the max depth): K puts to K distinct
+  // same-home allocations ride one put_many call — one doorbell, pipelined
+  // wire, one coalesced completion.  Latency samples are amortized per op
+  // (batch time / K) so the sweep compares directly against the serial
+  // put/<model> scenarios above.  Only doorbell-batchable models sweep;
+  // lock-based models fall back to serial inside put_many.
+  for (const auto model : {ddss::Coherence::kNull, ddss::Coherence::kRead,
+                           ddss::Coherence::kVersion}) {
+    for (const std::size_t depth : bench::batch_sweep(opts.batch)) {
+      h.run(std::string("put/") + ddss::to_string(model) + "/batch=" +
+                std::to_string(depth),
+            [model, depth](bench::Scenario& s) {
+              s.batch_depth(depth);
+              auto& eng = s.engine();
+              fabric::Fabric fab(eng, fabric::FabricParams{},
+                                 {.num_nodes = 2, .mem_per_node = 4u << 20});
+              verbs::Network net(fab);
+              ddss::Ddss substrate(net);
+              substrate.start();
+              eng.spawn([](sim::Engine& e, ddss::Ddss& d, ddss::Coherence m,
+                           std::size_t k,
+                           bench::Scenario& out) -> sim::Task<void> {
+                auto client = d.client(0);
+                constexpr std::size_t kBytes = 4096;
+                std::vector<ddss::Allocation> allocs;
+                allocs.reserve(k);
+                for (std::size_t j = 0; j < k; ++j) {
+                  allocs.push_back(co_await client.allocate(
+                      kBytes, m, ddss::Placement::kRemote));
+                }
+                std::vector<std::byte> value(kBytes, std::byte{0x5A});
+                std::vector<ddss::Client::PutOp> ops;
+                ops.reserve(k);
+                for (const auto& a : allocs) ops.push_back({&a, value});
+                co_await client.put_many(ops);  // warm-up
+                constexpr int kIters = 20;
+                for (int i = 0; i < kIters; ++i) {
+                  const auto t0 = e.now();
+                  {
+                    trace::Request req("ddss.put_many", 0,
+                                       static_cast<std::uint64_t>(i));
+                    co_await client.put_many(ops);
+                  }
+                  const double per_op =
+                      static_cast<double>(e.now() - t0) / static_cast<double>(k);
+                  for (std::size_t j = 0; j < k; ++j) out.latency_ns(per_op);
+                }
+              }(eng, substrate, model, depth, s));
+              eng.run();
+              s.metric("put_bytes", 4096);
+              s.metric("batch_depth", static_cast<double>(depth));
+            });
+    }
+  }
   return h.finish();
 }
 

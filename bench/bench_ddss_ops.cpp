@@ -6,6 +6,7 @@
 #include "common/table.hpp"
 #include "ddss/aggregator.hpp"
 #include "ddss/ddss.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -132,6 +133,82 @@ void print_aggregator_table() {
       "bandwidth aggregation");
 }
 
+// Harnessed scenarios (docs/BENCHMARKS.md): serial 4 KB gets per coherence
+// model, then a batched sweep (--batch N picks the max depth) where K gets
+// of K distinct same-home allocations ride one get_many call — one
+// doorbell, pipelined wire, one coalesced completion.  Batched latency
+// samples are amortized per op (batch time / K) so "get/<model>/batch=K"
+// compares directly against "get/<model>".
+int run_harness(const bench::HarnessOptions& opts) {
+  bench::Harness h("ddss_ops", opts);
+  const auto setup = [](bench::Scenario& s, ddss::Coherence m, std::size_t k,
+                        bool batched) {
+    auto& eng = s.engine();
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 2, .mem_per_node = 4u << 20});
+    verbs::Network net(fab);
+    ddss::Ddss substrate(net);
+    substrate.start();
+    eng.spawn([](sim::Engine& e, ddss::Ddss& d, ddss::Coherence model,
+                 std::size_t depth, bool use_batch,
+                 bench::Scenario& out) -> sim::Task<void> {
+      auto client = d.client(0);
+      constexpr std::size_t kBytes = 4096;
+      std::vector<std::byte> value(kBytes, std::byte{1});
+      std::vector<ddss::Allocation> allocs;
+      allocs.reserve(depth);
+      for (std::size_t j = 0; j < depth; ++j) {
+        allocs.push_back(co_await client.allocate(kBytes, model,
+                                                  ddss::Placement::kRemote));
+        co_await client.put(allocs.back(), value);
+      }
+      std::vector<std::vector<std::byte>> bufs(depth);
+      std::vector<ddss::Client::GetOp> ops;
+      ops.reserve(depth);
+      for (std::size_t j = 0; j < depth; ++j) {
+        bufs[j].resize(kBytes);
+        ops.push_back({&allocs[j], bufs[j]});
+      }
+      co_await client.get_many(ops);  // warm-up
+      constexpr int kIters = 20;
+      for (int i = 0; i < kIters; ++i) {
+        const auto t0 = e.now();
+        {
+          trace::Request req(use_batch ? "ddss.get_many" : "ddss.get", 0,
+                             static_cast<std::uint64_t>(i));
+          if (use_batch) {
+            co_await client.get_many(ops);
+          } else {
+            co_await client.get(allocs[0], bufs[0]);
+          }
+        }
+        const double per_op = static_cast<double>(e.now() - t0) /
+                              static_cast<double>(depth);
+        for (std::size_t j = 0; j < depth; ++j) out.latency_ns(per_op);
+      }
+    }(eng, substrate, m, k, batched, s));
+    eng.run();
+    s.metric("get_bytes", 4096);
+  };
+  for (const auto model : kModels) {
+    h.run(std::string("get/") + ddss::to_string(model),
+          [&](bench::Scenario& s) { setup(s, model, 1, false); });
+  }
+  for (const auto model : {ddss::Coherence::kNull, ddss::Coherence::kWrite,
+                           ddss::Coherence::kRead}) {
+    for (const std::size_t depth : bench::batch_sweep(opts.batch)) {
+      h.run(std::string("get/") + ddss::to_string(model) + "/batch=" +
+                std::to_string(depth),
+            [&](bench::Scenario& s) {
+              s.batch_depth(depth);
+              setup(s, model, depth, true);
+              s.metric("batch_depth", static_cast<double>(depth));
+            });
+    }
+  }
+  return h.finish();
+}
+
 void BM_DdssGet(benchmark::State& state) {
   const auto model = kModels[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
@@ -145,6 +222,8 @@ BENCHMARK(BM_DdssGet)->DenseRange(0, 6)->UseManualTime()->Iterations(1)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto flags = bench::extract_harness_flags(argc, argv);
+  if (flags.harness_mode()) return run_harness(flags);
   print_get_table();
   print_ipc_table();
   print_placement_table();

@@ -53,7 +53,17 @@ HarnessOptions extract_harness_flags(int& argc, char** argv) {
   opts.trace_out = take_flag(argc, argv, "--trace-out");
   opts.metrics_out = take_flag(argc, argv, "--metrics-out");
   opts.postmortem_dir = take_flag(argc, argv, "--postmortem-dir");
+  const std::string batch = take_flag(argc, argv, "--batch");
+  if (!batch.empty()) opts.batch = std::stoul(batch);
   return opts;
+}
+
+std::vector<std::size_t> batch_sweep(std::size_t max) {
+  if (max == 0) return {1, 2, 4, 8};
+  std::vector<std::size_t> out;
+  for (std::size_t k = 1; k < max; k *= 2) out.push_back(k);
+  out.push_back(max);
+  return out;
 }
 
 Harness::Harness(std::string bench, HarnessOptions opts)
@@ -89,6 +99,7 @@ void Harness::run(const std::string& scenario,
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
                                                            wall_start)
           .count());
+  snap.batch = ctx.batch_depth_;
   snap.metrics = std::move(ctx.metrics_);
   snap.latency_count = ctx.latency_.count();
   if (snap.latency_count > 0) {
@@ -181,8 +192,9 @@ int Harness::finish() {
            << "      \"events\": " << sn.events << ",\n"
            << "      \"wall_ns\": " << fmt_f3(sn.wall_ns) << ",\n"
            << "      \"events_per_sec\": " << fmt_f3(eps) << ",\n"
-           << "      \"ns_per_event\": " << fmt_f3(npe) << "\n"
-           << "    }" << (s + 1 < snapshots_.size() ? "," : "") << "\n";
+           << "      \"ns_per_event\": " << fmt_f3(npe);
+        if (sn.batch > 0) os << ",\n      \"batch\": " << sn.batch;
+        os << "\n    }" << (s + 1 < snapshots_.size() ? "," : "") << "\n";
         std::fprintf(stderr,
                      "bench: wall %s/%s: %llu events, %.1f ns/event, "
                      "%.0f events/sec\n",

@@ -69,6 +69,11 @@ struct HarnessOptions {
   std::string trace_out;      // Chrome trace_event JSON file
   std::string metrics_out;    // plain-text metrics dump file
   std::string postmortem_dir; // flight-recorder dump directory
+  /// --batch N: maximum batch depth for benches that sweep the batched
+  /// verbs data path (0 = the bench's default sweep).  Benches record the
+  /// depth per scenario via Scenario::batch_depth; it lands as a "batch"
+  /// field in the wall JSON so batch depth is a first-class bench axis.
+  std::size_t batch = 0;
 
   /// Multi-scenario telemetry requested (run the bench::Harness path).
   bool harness_mode() const {
@@ -98,6 +103,10 @@ struct HarnessOptions {
 /// handing argv to another parser such as benchmark::Initialize.
 HarnessOptions extract_harness_flags(int& argc, char** argv);
 
+/// Batch depths a bench sweeps for `--batch max` (powers of two up to and
+/// including `max`); `max == 0` yields the default sweep {1, 2, 4, 8}.
+std::vector<std::size_t> batch_sweep(std::size_t max);
+
 /// One scenario run: the engine to drive plus sinks for results.
 class Scenario {
  public:
@@ -112,12 +121,16 @@ class Scenario {
   }
   /// Records one end-to-end latency sample in nanoseconds.
   void latency_ns(double ns) { latency_.add(ns); }
+  /// Tags the scenario with the verbs batch depth it ran at; written as the
+  /// "batch" field of the wall JSON (0 = not a batched scenario).
+  void batch_depth(std::size_t n) { batch_depth_ = n; }
 
  private:
   friend class Harness;
   sim::Engine& eng_;
   std::map<std::string, double> metrics_;
   LatencySamples latency_;
+  std::size_t batch_depth_ = 0;
 };
 
 /// Collects scenario snapshots and writes the canonical JSON.
@@ -146,6 +159,7 @@ class Harness {
     // never leak into the byte-stable dcs-bench-v1 output.
     std::uint64_t events = 0;    // engine events dispatched by the scenario
     double wall_ns = 0;          // host time spent inside the body
+    std::size_t batch = 0;       // verbs batch depth (0 = not batched)
     std::map<std::string, double> metrics;
     // Latency percentiles (ns); count == 0 when the scenario recorded none.
     std::size_t latency_count = 0;

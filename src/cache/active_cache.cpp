@@ -1,5 +1,7 @@
 #include "cache/active_cache.hpp"
 
+#include <array>
+
 #include "common/rng.hpp"
 #include "trace/trace.hpp"
 #include "verbs/wire.hpp"
@@ -125,17 +127,26 @@ sim::Task<std::vector<std::byte>> ActiveCache::serve(const std::string& key) {
     co_return co_await recompute(key, doc);
   }
 
-  // kStrong: validate every dependency version with one-sided reads.
-  auto client = ddss_.client(proxy_);
+  // kStrong: validate every dependency version with one-sided reads — all
+  // of them in one batched poll (one doorbell, one coalesced wake), instead
+  // of a serial round trip per dependency.  Every dependency is validated
+  // (the batch is already in flight), so the validation count is the
+  // dependency count even when the first one already mismatches.
+  std::vector<std::array<std::byte, 8>> ver_imgs(doc.deps.size());
+  {
+    verbs::OpBatch batch;
+    for (std::size_t i = 0; i < doc.deps.size(); ++i) {
+      batch.read(doc.deps[i]->allocation().meta, ddss::MetaLayout::kVersion,
+                 ver_imgs[i]);
+    }
+    co_await ddss_.network().hca(proxy_).post(std::move(batch));
+  }
   bool valid = true;
   for (std::size_t i = 0; i < doc.deps.size(); ++i) {
-    const auto v = co_await client.version(doc.deps[i]->allocation());
+    const auto v = verbs::load_u64(ver_imgs[i], 0);
     ++stats_.validations;
     metrics().validations.add();
-    if (v != entry.dep_versions[i]) {
-      valid = false;
-      break;
-    }
+    if (v != entry.dep_versions[i]) valid = false;
   }
   if (valid) {
     ++stats_.served_cached;

@@ -1,0 +1,83 @@
+// Sorted-vector associative container for small hot maps.
+//
+// The simulator's per-object maps (rkey -> registration, tag -> mailbox)
+// hold tens of entries and sit on paths that also *enumerate* them, so a
+// contiguous sorted vector beats a node-based hash table twice over: lookups
+// are a cache-friendly binary search, and iteration order is deterministic
+// by construction — no hash-seed ordering to leak into traces or dumps
+// (the R3 hazard dcs-lint polices for unordered containers).
+//
+// Deliberately minimal: the subset of the std::map interface the simulator
+// uses.  Keys must be totally ordered via `<`.  Insertion and erasure are
+// O(n) moves; for the map sizes on these paths that is cheaper than chasing
+// hash buckets.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dcs::common {
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  iterator find(const Key& key) {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  const_iterator find(const Key& key) const {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+
+  bool contains(const Key& key) const { return find(key) != end(); }
+
+  /// Inserts key -> Value(args...) if absent; returns (iterator, inserted).
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& key, Args&&... args) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return {it, false};
+    it = entries_.emplace(it, key, Value(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  std::size_t erase(const Key& key) {
+    auto it = find(key);
+    if (it == entries_.end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+ private:
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;  // sorted by key
+};
+
+}  // namespace dcs::common

@@ -1,7 +1,9 @@
 #include "ddss/ddss.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
+#include <utility>
 
 #include "audit/audit.hpp"
 #include "trace/trace.hpp"
@@ -324,37 +326,60 @@ sim::Task<void> Client::put(const Allocation& alloc,
       co_await hca.write(alloc.data, 0, value);
       break;
     case Coherence::kRead:
-    case Coherence::kVersion:
-      // Writers bump the version so readers can validate.
-      co_await hca.write(alloc.data, 0, value);
-      (void)co_await hca.fetch_and_add(alloc.meta, MetaLayout::kVersion, 1);
+    case Coherence::kVersion: {
+      // Writers bump the version so readers can validate.  One batch: the
+      // bump executes at the home after the data write (posting order), so
+      // readers still never validate against unwritten data.
+      verbs::OpBatch batch;
+      batch.write(alloc.data, 0, value);
+      batch.fetch_and_add(alloc.meta, MetaLayout::kVersion, 1);
+      co_await hca.post(std::move(batch));
       break;
-    case Coherence::kWrite:
+    }
+    case Coherence::kWrite: {
       co_await lock(alloc);
-      co_await hca.write(alloc.data, 0, value);
-      co_await unlock(alloc);
+      // Write + unlock-CAS ride one doorbell; the CAS executes after the
+      // write lands at the home, exactly the serial release ordering.
+      std::uint64_t old = 0;
+      verbs::OpBatch batch;
+      batch.write(alloc.data, 0, value);
+      batch.compare_and_swap(alloc.meta, MetaLayout::kLock, node_ + 1, 0,
+                             &old);
+      co_await hca.post(std::move(batch));
+      DCS_CHECK_MSG(old == node_ + 1, "unlock by non-owner");
       break;
-    case Coherence::kStrict:
+    }
+    case Coherence::kStrict: {
       co_await lock(alloc);
-      co_await hca.write(alloc.data, 0, value);
-      (void)co_await hca.fetch_and_add(alloc.meta, MetaLayout::kVersion, 1);
-      co_await unlock(alloc);
+      std::uint64_t old = 0;
+      verbs::OpBatch batch;
+      batch.write(alloc.data, 0, value);
+      batch.fetch_and_add(alloc.meta, MetaLayout::kVersion, 1);
+      batch.compare_and_swap(alloc.meta, MetaLayout::kLock, node_ + 1, 0,
+                             &old);
+      co_await hca.post(std::move(batch));
+      DCS_CHECK_MSG(old == node_ + 1, "unlock by non-owner");
       break;
+    }
     case Coherence::kDelta: {
       // Single-writer ring: place the new version, then publish the head.
       std::byte head_img[8];
       co_await hca.read(alloc.meta, MetaLayout::kDeltaHead, head_img);
       const auto head = verbs::load_u64(head_img, 0);
       const std::size_t slot = head % ddss_.config_.delta_versions;
-      co_await hca.write(alloc.data, slot * alloc.size, value);
-      (void)co_await hca.fetch_and_add(alloc.meta, MetaLayout::kDeltaHead, 1);
+      verbs::OpBatch batch;
+      batch.write(alloc.data, slot * alloc.size, value);
+      batch.fetch_and_add(alloc.meta, MetaLayout::kDeltaHead, 1);
+      co_await hca.post(std::move(batch));
       break;
     }
     case Coherence::kTemporal: {
-      co_await hca.write(alloc.data, 0, value);
       std::byte ts_img[8];
       verbs::store_u64(ts_img, 0, ddss_.engine().now());
-      co_await hca.write(alloc.meta, MetaLayout::kTimestamp, ts_img);
+      verbs::OpBatch batch;
+      batch.write(alloc.data, 0, value);
+      batch.write(alloc.meta, MetaLayout::kTimestamp, ts_img);
+      co_await hca.post(std::move(batch));
       invalidate_cached(alloc);  // our own node re-reads fresh data
       if (ddss_.config_.temporal_write_invalidate) {
         const auto tag = temporal_tag(alloc);
@@ -388,19 +413,29 @@ sim::Task<void> Client::get(const Allocation& alloc, std::span<std::byte> out) {
       break;
     case Coherence::kRead: {
       // One validation read: sees a committed version number with the data.
-      co_await hca.read(alloc.data, 0, out);
+      // Data + version ride one batch — the version read executes at the
+      // home after the data read, preserving the commit-visibility check.
       std::byte ver_img[8];
-      co_await hca.read(alloc.meta, MetaLayout::kVersion, ver_img);
+      verbs::OpBatch batch;
+      batch.read(alloc.data, 0, out);
+      batch.read(alloc.meta, MetaLayout::kVersion, ver_img);
+      co_await hca.post(std::move(batch));
       break;
     }
     case Coherence::kVersion:
       (void)co_await get_versioned(alloc, out);
       break;
-    case Coherence::kStrict:
+    case Coherence::kStrict: {
       co_await lock(alloc);
-      co_await hca.read(alloc.data, 0, out);
-      co_await unlock(alloc);
+      std::uint64_t old = 0;
+      verbs::OpBatch batch;
+      batch.read(alloc.data, 0, out);
+      batch.compare_and_swap(alloc.meta, MetaLayout::kLock, node_ + 1, 0,
+                             &old);
+      co_await hca.post(std::move(batch));
+      DCS_CHECK_MSG(old == node_ + 1, "unlock by non-owner");
       break;
+    }
     case Coherence::kDelta:
       co_await get_delta(alloc, 0, out);
       break;
@@ -436,10 +471,15 @@ sim::Task<std::uint64_t> Client::get_versioned(const Allocation& alloc,
   DCS_CHECK(alloc.valid());
   auto& hca = ddss_.net_.hca(node_);
   for (;;) {
+    // Seqlock triple in one batch: v1 / data / v2 execute at the home in
+    // posting order, so the torn-read detection is unchanged while the
+    // three round trips collapse into one pipelined flight.
     std::byte v1_img[8], v2_img[8];
-    co_await hca.read(alloc.meta, MetaLayout::kVersion, v1_img);
-    co_await hca.read(alloc.data, 0, out);
-    co_await hca.read(alloc.meta, MetaLayout::kVersion, v2_img);
+    verbs::OpBatch batch;
+    batch.read(alloc.meta, MetaLayout::kVersion, v1_img);
+    batch.read(alloc.data, 0, out);
+    batch.read(alloc.meta, MetaLayout::kVersion, v2_img);
+    co_await hca.post(std::move(batch));
     const auto v1 = verbs::load_u64(v1_img, 0);
     const auto v2 = verbs::load_u64(v2_img, 0);
     if (v1 == v2) co_return v2;
@@ -485,6 +525,115 @@ sim::Task<std::uint64_t> Client::wait_version(const Allocation& alloc,
 
 void Client::invalidate_cached(const Allocation& alloc) {
   ddss_.temporal_cache_.erase(Ddss::CacheKey{node_, temporal_tag(alloc)});
+}
+
+namespace {
+/// True when the model's put/get is a fixed op sequence we can enqueue into
+/// a per-home batch (no locks, no cache protocol).
+bool batchable_put(Coherence c) {
+  return c == Coherence::kNull || c == Coherence::kRead ||
+         c == Coherence::kVersion;
+}
+bool batchable_get(Coherence c) {
+  return c == Coherence::kNull || c == Coherence::kWrite ||
+         c == Coherence::kRead;
+}
+}  // namespace
+
+sim::Task<void> Client::put_many(std::span<const PutOp> ops) {
+  if (ops.empty()) co_return;
+  DCS_TRACE_SPAN("ddss", "put_many", node_, ops.size());
+  const SimNanos t0 = ddss_.engine().now();
+  co_await ipc_hop();
+  auto& hca = ddss_.net_.hca(node_);
+  // One OpBatch per home node, filled in op order so same-home puts retire
+  // in posting order at that home.
+  std::vector<std::pair<NodeId, verbs::OpBatch>> per_home;
+  std::size_t batched = 0;
+  for (const PutOp& op : ops) {
+    const Allocation& alloc = *op.alloc;
+    DCS_CHECK(alloc.valid());
+    DCS_CHECK_MSG(op.value.size() <= alloc.size, "put larger than allocation");
+    if (!batchable_put(alloc.coherence)) continue;
+    metrics().put_ops.add();
+    metrics().put_bytes.add(op.value.size());
+    auto it = std::find_if(per_home.begin(), per_home.end(),
+                           [&](const auto& e) { return e.first == alloc.home; });
+    if (it == per_home.end()) {
+      per_home.emplace_back(alloc.home, verbs::OpBatch{});
+      it = per_home.end() - 1;
+    }
+    it->second.write(alloc.data, 0, op.value);
+    if (alloc.coherence != Coherence::kNull) {
+      it->second.fetch_and_add(alloc.meta, MetaLayout::kVersion, 1);
+    }
+    ++batched;
+  }
+  if (batched > 0) {
+    std::vector<sim::Task<void>> posts;
+    posts.reserve(per_home.size());
+    for (auto& [home, batch] : per_home) {
+      posts.push_back(hca.post(std::move(batch)));
+    }
+    co_await ddss_.engine().when_all(std::move(posts));
+    // Per-op latency under batching is the batch latency: every op in the
+    // batch completes at the coalesced wake.
+    for (std::size_t i = 0; i < batched; ++i) {
+      metrics().put_latency.record_ns(ddss_.engine().now() - t0);
+    }
+  }
+  // Lock-based / cache-protocol models keep their serial multi-round path.
+  for (const PutOp& op : ops) {
+    if (batchable_put(op.alloc->coherence)) continue;
+    co_await put(*op.alloc, op.value);
+  }
+}
+
+sim::Task<void> Client::get_many(std::span<const GetOp> ops) {
+  if (ops.empty()) co_return;
+  DCS_TRACE_SPAN("ddss", "get_many", node_, ops.size());
+  const SimNanos t0 = ddss_.engine().now();
+  co_await ipc_hop();
+  auto& hca = ddss_.net_.hca(node_);
+  std::vector<std::pair<NodeId, verbs::OpBatch>> per_home;
+  // Version-word scratch, one slot per op (only kRead uses its slot).
+  std::vector<std::array<std::byte, 8>> ver_imgs(ops.size());
+  std::size_t batched = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const GetOp& op = ops[i];
+    const Allocation& alloc = *op.alloc;
+    DCS_CHECK(alloc.valid());
+    DCS_CHECK_MSG(op.out.size() <= alloc.size, "get larger than allocation");
+    if (!batchable_get(alloc.coherence)) continue;
+    metrics().get_ops.add();
+    metrics().get_bytes.add(op.out.size());
+    auto it = std::find_if(per_home.begin(), per_home.end(),
+                           [&](const auto& e) { return e.first == alloc.home; });
+    if (it == per_home.end()) {
+      per_home.emplace_back(alloc.home, verbs::OpBatch{});
+      it = per_home.end() - 1;
+    }
+    it->second.read(alloc.data, 0, op.out);
+    if (alloc.coherence == Coherence::kRead) {
+      it->second.read(alloc.meta, MetaLayout::kVersion, ver_imgs[i]);
+    }
+    ++batched;
+  }
+  if (batched > 0) {
+    std::vector<sim::Task<void>> posts;
+    posts.reserve(per_home.size());
+    for (auto& [home, batch] : per_home) {
+      posts.push_back(hca.post(std::move(batch)));
+    }
+    co_await ddss_.engine().when_all(std::move(posts));
+    for (std::size_t i = 0; i < batched; ++i) {
+      metrics().get_latency.record_ns(ddss_.engine().now() - t0);
+    }
+  }
+  for (const GetOp& op : ops) {
+    if (batchable_get(op.alloc->coherence)) continue;
+    co_await get(*op.alloc, op.out);
+  }
 }
 
 }  // namespace dcs::ddss

@@ -118,6 +118,27 @@ class Client {
                       std::span<const std::byte> value);
   sim::Task<void> get(const Allocation& alloc, std::span<std::byte> out);
 
+  /// One element of a batched put/get (see put_many / get_many).
+  struct PutOp {
+    const Allocation* alloc = nullptr;
+    std::span<const std::byte> value;
+  };
+  struct GetOp {
+    const Allocation* alloc = nullptr;
+    std::span<std::byte> out;
+  };
+
+  /// Batched multi-allocation put: ops are grouped by home node and each
+  /// home gets ONE verbs::OpBatch (one doorbell, pipelined wire, one
+  /// coalesced completion) carrying every write + version bump for that
+  /// home.  Lock-based models (kWrite/kStrict) and kTemporal fall back to
+  /// serial puts — their lock/invalidation protocols are inherently
+  /// multi-round.  Per-op semantics are identical to put().
+  sim::Task<void> put_many(std::span<const PutOp> ops);
+  /// Batched multi-allocation get, same grouping rules; kStrict and
+  /// kTemporal fall back to serial gets.
+  sim::Task<void> get_many(std::span<const GetOp> ops);
+
   /// Reads the value together with the version that produced it
   /// (consistent snapshot; used by services that need versioned caching).
   sim::Task<std::uint64_t> get_versioned(const Allocation& alloc,

@@ -124,11 +124,27 @@ sim::Task<void> NcosedLockManager::lock_exclusive_impl(NodeId self,
   const std::uint32_t me = self + 1;
 
   // Close the current epoch: swap ourselves in as tail with cleared count.
+  // When the epoch we are closing has shared holders (count_of(guess) > 0),
+  // the CAS attempt batches a W1 read onto the same doorbell (a combined
+  // CAS+read work queue): the piggybacked read — executed at the home right
+  // after the CAS — becomes the drain's first observation, for free.  The
+  // uncontended path stays exactly one CAS (Figure 4a).
   std::uint64_t guess = 0;
-  std::uint64_t old;
+  std::uint64_t old = 0;
+  std::byte w1_img[8];
+  std::optional<std::uint64_t> w1_observed;
   for (;;) {
-    old = co_await hca.compare_and_swap(table_, w0_off(id), guess,
-                                        make_w0(me, 0));
+    if (count_of(guess) > 0) {
+      verbs::OpBatch batch;
+      batch.compare_and_swap(table_, w0_off(id), guess, make_w0(me, 0), &old);
+      batch.read(table_, w1_off(id), w1_img);
+      co_await hca.post(std::move(batch));
+      w1_observed = verbs::load_u64(w1_img, 0);
+    } else {
+      old = co_await hca.compare_and_swap(table_, w0_off(id), guess,
+                                          make_w0(me, 0));
+      w1_observed.reset();
+    }
     if (old == guess) break;
     guess = old;
   }
@@ -147,27 +163,39 @@ sim::Task<void> NcosedLockManager::lock_exclusive_impl(NodeId self,
                       tags::kNcWaitExcl + id,
                       verbs::Encoder().u32(self).u32(shared_in_epoch).take());
     (void)co_await hca.recv(tags::kNcHandoff + id);
+    // The piggybacked W1 value predates the handoff (it may still count the
+    // *previous* epoch's releases) — discard it; the drain re-reads.
+    w1_observed.reset();
   }
   // Wait for the epoch's shared holders to drain, then start a fresh epoch.
   // (W1 is provably zero already when the epoch had no shared requests, so
   // the uncontended path is exactly one CAS — Figure 4a.)
   if (shared_in_epoch > 0) {
-    co_await drain_shared(self, id, shared_in_epoch);
+    co_await drain_shared(self, id, shared_in_epoch, w1_observed);
     std::byte zero[8] = {};
     co_await hca.write(table_, w1_off(id), zero);
   }
 }
 
-sim::Task<void> NcosedLockManager::drain_shared(NodeId self, LockId id,
-                                                std::uint32_t target) {
+sim::Task<void> NcosedLockManager::drain_shared(
+    NodeId self, LockId id, std::uint32_t target,
+    std::optional<std::uint64_t> observed) {
   auto& hca = net_.hca(self);
   auto& eng = net_.fabric().engine();
   for (;;) {
-    std::byte img[8];
-    co_await hca.read(table_, w1_off(id), img);
+    std::uint64_t released;
+    if (observed.has_value()) {
+      // Seeded by the acquisition batch's piggybacked read: no wire round.
+      released = *observed;
+      observed.reset();
+    } else {
+      std::byte img[8];
+      co_await hca.read(table_, w1_off(id), img);
+      released = verbs::load_u64(img, 0);
+    }
     ++drain_polls_;
     metrics().drain_polls.add();
-    if (verbs::load_u64(img, 0) >= target) co_return;
+    if (released >= target) co_return;
     co_await eng.delay(poll_interval_);
   }
 }
@@ -193,15 +221,14 @@ sim::Task<void> NcosedLockManager::grant_shared_batch(NodeId self, LockId id,
     verbs::Message msg = co_await hca.recv(tags::kNcWaitShared + id);
     waiters.push_back(verbs::Decoder(msg.payload).u32());
   }
-  // Cascading grant: all grant messages are posted back to back and complete
-  // concurrently — a batch, not a serial ack-by-ack chain.
-  std::vector<sim::Task<void>> sends;
-  sends.reserve(waiters.size());
+  // Cascading grant: every grant message rides ONE posted batch — a single
+  // doorbell, back-to-back serialization, and one completion for the whole
+  // cascade instead of a per-waiter post + wake.
+  verbs::OpBatch grants;
   for (const NodeId w : waiters) {
-    sends.push_back(hca.send(w, tags::kNcGrantShared + id,
-                             verbs::Encoder().u32(id).take()));
+    grants.send(w, tags::kNcGrantShared + id, verbs::Encoder().u32(id).take());
   }
-  co_await net_.fabric().engine().when_all(std::move(sends));
+  co_await hca.post(std::move(grants));
 }
 
 sim::Task<void> NcosedLockManager::unlock_exclusive_impl(NodeId self,

@@ -29,6 +29,7 @@
 // the paper.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 
 #include "dlm/lock_manager.hpp"
@@ -59,7 +60,10 @@ class NcosedLockManager final : public LockManager {
   sim::Task<void> grant_shared_batch(NodeId self, LockId id,
                                      std::uint32_t count);
   /// One-sided poll of W1 until `target` shared releases have landed.
-  sim::Task<void> drain_shared(NodeId self, LockId id, std::uint32_t target);
+  /// `observed` seeds the poll with a W1 value already fetched (the CAS+read
+  /// acquisition batch piggybacks one), saving the first poll round trip.
+  sim::Task<void> drain_shared(NodeId self, LockId id, std::uint32_t target,
+                               std::optional<std::uint64_t> observed);
 
   std::size_t w0_off(LockId id) const { return id * kEntryBytes; }
   std::size_t w1_off(LockId id) const { return id * kEntryBytes + 8; }

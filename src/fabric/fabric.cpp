@@ -49,4 +49,19 @@ sim::Task<void> Fabric::tcp_wire_transfer(NodeId src, NodeId dst,
   co_await transfer_impl(src, dst, params_.tcp_wire_time(bytes));
 }
 
+sim::Task<void> Fabric::serialize_only(NodeId src, NodeId dst,
+                                       std::size_t bytes) {
+  DCS_CHECK_MSG(src < nodes_.size() && dst < nodes_.size(), "invalid node id");
+  bytes_transferred_ += bytes;
+  const SimNanos serialization = params_.wire_time(bytes);
+  if (src == dst) {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "fabric", "nic.loopback", src);
+    co_await eng_.delay(serialization / 4);
+    co_return;
+  }
+  DCS_TRACE_COST_SPAN(trace::Cost::kNic, "fabric", "nic.tx", src);
+  auto guard = co_await nodes_[src]->nic_tx().scoped();
+  co_await eng_.delay(serialization);
+}
+
 }  // namespace dcs::fabric

@@ -43,6 +43,14 @@ class Fabric {
   /// Same, at TCP wire efficiency (protocol overhead on the wire).
   sim::Task<void> tcp_wire_transfer(NodeId src, NodeId dst, std::size_t bytes);
 
+  /// The serialization half of wire_transfer: accounts the bytes and
+  /// occupies the sender's NIC for their serialization time, but does NOT
+  /// apply the propagation hop.  The batched verbs path uses this so the
+  /// serialization of work request k+1 overlaps the flight of request k,
+  /// applying link latency itself per in-flight op.  Loopback charges the
+  /// same single memory-speed copy as wire_transfer.
+  sim::Task<void> serialize_only(NodeId src, NodeId dst, std::size_t bytes);
+
   /// Total bytes that have crossed the wire (for bandwidth accounting).
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
 

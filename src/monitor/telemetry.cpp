@@ -164,13 +164,8 @@ void TelemetryScraper::attach(const TelemetryExporter& exporter) {
       Attached{exporter.region(), exporter.schema().entries()};
 }
 
-sim::Task<TelemetrySnapshot> TelemetryScraper::scrape(NodeId target) {
-  const auto it = attached_.find(target);
-  DCS_CHECK_MSG(it != attached_.end(), "scrape of unattached target");
-  const Attached& a = it->second;
-  std::vector<std::byte> img(a.region.len);
-  co_await net_.hca(frontend_).read(a.region, 0, img);
-  ++scrapes_;
+TelemetrySnapshot TelemetryScraper::parse_page(
+    const Attached& a, std::span<const std::byte> img) const {
   TelemetrySnapshot snap;
   std::memcpy(&snap.seq, img.data(), 8);
   snap.scraped_at = net_.fabric().engine().now();
@@ -197,7 +192,44 @@ sim::Task<TelemetrySnapshot> TelemetryScraper::scrape(NodeId target) {
     off += 8;
     snap.values.emplace_back(entry.name, v);
   }
-  co_return snap;
+  return snap;
+}
+
+sim::Task<TelemetrySnapshot> TelemetryScraper::scrape(NodeId target) {
+  const auto it = attached_.find(target);
+  DCS_CHECK_MSG(it != attached_.end(), "scrape of unattached target");
+  const Attached& a = it->second;
+  std::vector<std::byte> img(a.region.len);
+  co_await net_.hca(frontend_).read(a.region, 0, img);
+  ++scrapes_;
+  co_return parse_page(a, img);
+}
+
+sim::Task<std::vector<TelemetrySnapshot>> TelemetryScraper::scrape_many(
+    std::span<const NodeId> targets) {
+  std::vector<TelemetrySnapshot> out;
+  if (targets.empty()) co_return out;
+  // N page reads, one doorbell.  Each page is a scatter-gather read: the
+  // export seq lands in its own 8-byte segment, the metric block in a
+  // second — two DMA descriptors the auditor observes independently.
+  std::vector<std::vector<std::byte>> imgs(targets.size());
+  verbs::OpBatch batch;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto it = attached_.find(targets[i]);
+    DCS_CHECK_MSG(it != attached_.end(), "scrape of unattached target");
+    const Attached& a = it->second;
+    imgs[i].resize(a.region.len);
+    std::span<std::byte> img(imgs[i]);
+    batch.read(a.region, 0,
+               std::vector<std::span<std::byte>>{img.first(8), img.subspan(8)});
+  }
+  co_await net_.hca(frontend_).post(std::move(batch));
+  out.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ++scrapes_;
+    out.push_back(parse_page(attached_.find(targets[i])->second, imgs[i]));
+  }
+  co_return out;
 }
 
 }  // namespace dcs::monitor

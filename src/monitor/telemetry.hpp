@@ -85,6 +85,14 @@ class TelemetryScraper {
   /// One-sided read of `target`'s page; no target-CPU involvement.
   sim::Task<TelemetrySnapshot> scrape(NodeId target);
 
+  /// Scrapes N pages with ONE batched work queue: every page read rides a
+  /// single doorbell (scatter-gather: the 8-byte export seq and the metric
+  /// block land in separate local segments) and the scraper wakes once when
+  /// the last page arrives.  Still zero CPU on every target.  Snapshots are
+  /// returned in `targets` order.
+  sim::Task<std::vector<TelemetrySnapshot>> scrape_many(
+      std::span<const NodeId> targets);
+
   std::uint64_t scrapes() const { return scrapes_; }
 
  private:
@@ -92,6 +100,10 @@ class TelemetryScraper {
     verbs::RemoteRegion region;
     std::vector<TelemetrySchema::Entry> entries;
   };
+
+  /// Decodes a scraped page image into a snapshot.
+  TelemetrySnapshot parse_page(const Attached& a,
+                               std::span<const std::byte> img) const;
 
   verbs::Network& net_;
   NodeId frontend_;

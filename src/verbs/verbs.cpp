@@ -27,6 +27,8 @@ struct Metrics {
   trace::Counter& raw_write_bytes = reg().counter("verbs.raw_write.bytes");
   trace::Counter& raw_read_ops = reg().counter("verbs.raw_read.ops");
   trace::Counter& raw_read_bytes = reg().counter("verbs.raw_read.bytes");
+  trace::Counter& batch_posts = reg().counter("verbs.batch.posts");
+  trace::Counter& batch_ops = reg().counter("verbs.batch.ops");
   trace::Counter& send_msgs = reg().counter("verbs.send.msgs");
   trace::Counter& send_bytes = reg().counter("verbs.send.bytes");
   trace::Counter& recv_msgs = reg().counter("verbs.recv.msgs");
@@ -282,6 +284,326 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
     co_await eng.delay(p.rdma_completion);
   }
   co_return old;
+}
+
+// --- batched work queue ---
+
+void OpBatch::read(RemoteRegion target, std::size_t offset,
+                   std::span<std::byte> dst) {
+  read(target, offset, std::vector<std::span<std::byte>>{dst});
+}
+
+void OpBatch::read(RemoteRegion target, std::size_t offset,
+                   std::vector<std::span<std::byte>> sges) {
+  WorkRequest wr;
+  wr.kind = OpKind::kRead;
+  wr.target = target.node;
+  wr.rkey = target.rkey;
+  wr.offset = offset;
+  for (const auto& sge : sges) wr.total_len += sge.size();
+  wr.dst_sges = std::move(sges);
+  wrs_.push_back(std::move(wr));
+}
+
+void OpBatch::write(RemoteRegion target, std::size_t offset,
+                    std::span<const std::byte> src) {
+  write(target, offset, std::vector<std::span<const std::byte>>{src});
+}
+
+void OpBatch::write(RemoteRegion target, std::size_t offset,
+                    std::vector<std::span<const std::byte>> sges) {
+  WorkRequest wr;
+  wr.kind = OpKind::kWrite;
+  wr.target = target.node;
+  wr.rkey = target.rkey;
+  wr.offset = offset;
+  for (const auto& sge : sges) wr.total_len += sge.size();
+  wr.src_sges = std::move(sges);
+  wrs_.push_back(std::move(wr));
+}
+
+void OpBatch::compare_and_swap(RemoteRegion target, std::size_t offset,
+                               std::uint64_t compare, std::uint64_t swap,
+                               std::uint64_t* old_out) {
+  WorkRequest wr;
+  wr.kind = OpKind::kCas;
+  wr.target = target.node;
+  wr.rkey = target.rkey;
+  wr.offset = offset;
+  wr.total_len = 8;
+  wr.arg0 = compare;
+  wr.arg1 = swap;
+  wr.old_out = old_out;
+  wrs_.push_back(std::move(wr));
+}
+
+void OpBatch::fetch_and_add(RemoteRegion target, std::size_t offset,
+                            std::uint64_t add, std::uint64_t* old_out) {
+  WorkRequest wr;
+  wr.kind = OpKind::kFaa;
+  wr.target = target.node;
+  wr.rkey = target.rkey;
+  wr.offset = offset;
+  wr.total_len = 8;
+  wr.arg0 = add;
+  wr.old_out = old_out;
+  wrs_.push_back(std::move(wr));
+}
+
+void OpBatch::send(NodeId dst, std::uint32_t tag,
+                   std::vector<std::byte> payload) {
+  WorkRequest wr;
+  wr.kind = OpKind::kSend;
+  wr.target = dst;
+  wr.total_len = payload.size();
+  wr.tag = tag;
+  wr.payload = std::move(payload);
+  wrs_.push_back(std::move(wr));
+}
+
+void Hca::execute_at_target(OpBatch::WorkRequest& wr,
+                            std::vector<std::byte>& data,
+                            std::uint64_t& old_value) {
+  Hca& target = net_.hca(wr.target);
+  switch (wr.kind) {
+    case OpBatch::OpKind::kRead: {
+      // Target HCA DMA-reads registered memory *now*; one descriptor per
+      // SGE segment, each observed by the auditor individually.
+      data.reserve(wr.total_len);
+      std::size_t covered = 0;
+      for (const auto& sge : wr.dst_sges) {
+        auto src = target.resolve(wr.rkey, wr.offset + covered, sge.size(),
+                                  audit::AccessKind::kRead, "verbs.batch.read");
+        data.insert(data.end(), src.begin(), src.end());
+        covered += sge.size();
+      }
+      break;
+    }
+    case OpBatch::OpKind::kWrite: {
+      std::size_t covered = 0;
+      std::size_t consumed = 0;
+      for (const auto& sge : wr.src_sges) {
+        auto dst =
+            target.resolve(wr.rkey, wr.offset + covered, sge.size(),
+                           audit::AccessKind::kWrite, "verbs.batch.write");
+        std::copy(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+                  data.begin() + static_cast<std::ptrdiff_t>(consumed +
+                                                             sge.size()),
+                  dst.begin());
+        covered += sge.size();
+        consumed += sge.size();
+      }
+      break;
+    }
+    case OpBatch::OpKind::kCas: {
+      auto bytes = target.resolve(wr.rkey, wr.offset, 8,
+                                  audit::AccessKind::kAtomic, "verbs.batch.cas");
+      std::memcpy(&old_value, bytes.data(), 8);
+      DCS_LOG("verbs", "cas.execute", wr.target, old_value, wr.arg1);
+      if (old_value == wr.arg0) {
+        std::memcpy(bytes.data(), &wr.arg1, 8);
+      }
+      break;
+    }
+    case OpBatch::OpKind::kFaa: {
+      auto bytes = target.resolve(wr.rkey, wr.offset, 8,
+                                  audit::AccessKind::kAtomic, "verbs.batch.faa");
+      std::memcpy(&old_value, bytes.data(), 8);
+      const std::uint64_t updated = old_value + wr.arg0;
+      DCS_LOG("verbs", "faa.execute", wr.target, old_value, wr.arg0);
+      std::memcpy(bytes.data(), &updated, 8);
+      break;
+    }
+    case OpBatch::OpKind::kSend: {
+      target.deliver(Message{node_, wr.tag, std::move(wr.payload),
+                             trace::current_request()});
+      break;
+    }
+  }
+}
+
+sim::Task<void> Hca::post(OpBatch batch) {
+  if (batch.wrs_.empty()) co_return;
+  auto& m = metrics();
+  m.batch_posts.add();
+  m.batch_ops.add(batch.wrs_.size());
+  DCS_TRACE_SPAN("verbs", "batch.post", node_, batch.wrs_.size());
+  auto& eng = engine();
+  const auto& p = fab_.params();
+
+  // Wire footprint of each half of a work request: write/send requests carry
+  // the payload, read responses carry the data; everything else is control.
+  const auto request_bytes = [](const OpBatch::WorkRequest& wr) {
+    switch (wr.kind) {
+      case OpBatch::OpKind::kWrite:
+        return wr.total_len + kHeaderBytes;
+      case OpBatch::OpKind::kSend:
+        return wr.payload.size() + kHeaderBytes;
+      default:
+        return static_cast<std::size_t>(fabric::FabricParams::kControlBytes);
+    }
+  };
+  const auto response_bytes = [](const OpBatch::WorkRequest& wr) {
+    if (wr.kind == OpBatch::OpKind::kRead) return wr.total_len + kHeaderBytes;
+    return static_cast<std::size_t>(fabric::FabricParams::kControlBytes);
+  };
+
+  // Validate shape and charge per-op statistics at post time, exactly as the
+  // serial calls would.
+  bool any_one_sided = false;
+  for (const auto& wr : batch.wrs_) {
+    switch (wr.kind) {
+      case OpBatch::OpKind::kRead:
+        ++one_sided_ops_;
+        m.read_ops.add();
+        m.read_bytes.add(wr.total_len);
+        any_one_sided = true;
+        break;
+      case OpBatch::OpKind::kWrite:
+        ++one_sided_ops_;
+        m.write_ops.add();
+        m.write_bytes.add(wr.total_len);
+        any_one_sided = true;
+        break;
+      case OpBatch::OpKind::kCas:
+      case OpBatch::OpKind::kFaa: {
+        ++one_sided_ops_;
+        const bool is_cas = wr.kind == OpBatch::OpKind::kCas;
+        if (is_cas) {
+          m.cas_ops.add();
+        } else {
+          m.faa_ops.add();
+        }
+        any_one_sided = true;
+        if (auto* a = audit::Auditor::current()) {
+          a->on_atomic_shape(wr.target, wr.offset, 8,
+                             is_cas ? "verbs.batch.cas" : "verbs.batch.faa");
+        }
+        if (wr.offset % 8 != 0) {
+          throw RemoteAccessError("atomic requires 8-byte alignment");
+        }
+        break;
+      }
+      case OpBatch::OpKind::kSend:
+        ++messages_sent_;
+        m.send_msgs.add();
+        m.send_bytes.add(wr.payload.size());
+        break;
+    }
+  }
+
+  // Liveness per distinct target, in posting order (RC retry semantics).
+  {
+    std::vector<NodeId> checked;
+    for (const auto& wr : batch.wrs_) {
+      if (std::find(checked.begin(), checked.end(), wr.target) !=
+          checked.end()) {
+        continue;
+      }
+      checked.push_back(wr.target);
+      co_await check_alive(wr.target);
+    }
+  }
+
+  // One doorbell for the whole batch.
+  {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.post", node_);
+    co_await eng.delay(any_one_sided ? p.rdma_post_overhead
+                                     : p.send_post_overhead);
+  }
+
+  // Requests serialize back-to-back at this NIC: request k+1 goes onto the
+  // wire while request k is still in flight.  `flight_start[k]` marks when
+  // request k's last byte left; it lands at flight_start + link_latency.
+  struct InFlight {
+    sim::Time flight_start = 0;
+    std::vector<std::byte> data;  // write gather snapshot / read return data
+    std::uint64_t old_value = 0;  // cas / faa result
+  };
+  std::vector<InFlight> fl(batch.wrs_.size());
+  for (std::size_t i = 0; i < batch.wrs_.size(); ++i) {
+    auto& wr = batch.wrs_[i];
+    if (wr.kind == OpBatch::OpKind::kWrite) {
+      // Gather SGEs into the wire buffer now — HW DMA-reads them at
+      // serialization time.
+      fl[i].data.reserve(wr.total_len);
+      for (const auto& sge : wr.src_sges) {
+        fl[i].data.insert(fl[i].data.end(), sge.begin(), sge.end());
+      }
+    }
+    co_await fab_.serialize_only(node_, wr.target, request_bytes(wr));
+    fl[i].flight_start = eng.now();
+  }
+
+  // Retire ops in posting order: wait for the request to land, charge the
+  // target NIC, execute (the audit observation instant), then serialize the
+  // response at the target.  The single wake happens after the *last*
+  // response lands, so the poster pays one completion for the batch.
+  sim::Time last_response = eng.now();
+  for (std::size_t i = 0; i < batch.wrs_.size(); ++i) {
+    auto& wr = batch.wrs_[i];
+    const bool loopback = wr.target == node_;
+    const sim::Time arrival =
+        fl[i].flight_start + (loopback ? 0 : p.link_latency);
+    if (eng.now() < arrival) {
+      DCS_TRACE_COST_SPAN(trace::Cost::kWire, "verbs", "wire", node_);
+      co_await eng.delay(arrival - eng.now());
+    }
+    switch (wr.kind) {
+      case OpBatch::OpKind::kRead:
+      case OpBatch::OpKind::kWrite: {
+        DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.target", node_);
+        co_await eng.delay(p.rdma_target_nic);
+        break;
+      }
+      case OpBatch::OpKind::kCas:
+      case OpBatch::OpKind::kFaa: {
+        DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.atomic", node_);
+        co_await eng.delay(p.atomic_execute);
+        break;
+      }
+      case OpBatch::OpKind::kSend:
+        break;  // delivery is free of target-NIC setup beyond the wire
+    }
+    execute_at_target(wr, fl[i].data, fl[i].old_value);
+    co_await fab_.serialize_only(wr.target, node_, response_bytes(wr));
+    const sim::Time resp_arrival = eng.now() + (loopback ? 0 : p.link_latency);
+    last_response = std::max(last_response, resp_arrival);
+  }
+  if (eng.now() < last_response) {
+    DCS_TRACE_COST_SPAN(trace::Cost::kWire, "verbs", "wire", node_);
+    co_await eng.delay(last_response - eng.now());
+  }
+
+  // Completion: scatter read data / store atomic results, then one coalesced
+  // wake for the whole batch.
+  for (std::size_t i = 0; i < batch.wrs_.size(); ++i) {
+    auto& wr = batch.wrs_[i];
+    switch (wr.kind) {
+      case OpBatch::OpKind::kRead: {
+        std::size_t consumed = 0;
+        for (auto& sge : wr.dst_sges) {
+          std::copy(
+              fl[i].data.begin() + static_cast<std::ptrdiff_t>(consumed),
+              fl[i].data.begin() +
+                  static_cast<std::ptrdiff_t>(consumed + sge.size()),
+              sge.begin());
+          consumed += sge.size();
+        }
+        break;
+      }
+      case OpBatch::OpKind::kCas:
+      case OpBatch::OpKind::kFaa:
+        if (wr.old_out != nullptr) *wr.old_out = fl[i].old_value;
+        break;
+      default:
+        break;
+    }
+  }
+  if (any_one_sided) {
+    DCS_TRACE_COST_SPAN(trace::Cost::kNic, "verbs", "nic.completion", node_);
+    co_await eng.delay(p.rdma_completion);
+  }
 }
 
 sim::Task<void> Hca::raw_write(NodeId dst, std::size_t bytes) {

@@ -16,10 +16,10 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "common/flat_map.hpp"
 #include "fabric/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -67,6 +67,69 @@ struct Message {
 
 class Network;
 
+/// A batch of work requests posted to an `Hca` with a single doorbell.
+///
+/// Gather read/write/CAS/FAA/send work requests — each optionally
+/// scatter-gather over multiple local segments — then hand the batch to
+/// `Hca::post`.  The whole batch charges one post overhead, pipelines the
+/// wire (serialization of request k+1 overlaps the flight of request k),
+/// and wakes the poster once when the last completion lands.  Ops execute
+/// at their targets in posting order (single send-queue semantics), so a
+/// write posted before an atomic to the same region is visible to it.
+///
+/// SGE rules: segments are local buffers; the remote range is always the
+/// contiguous [offset, offset + sum(segment lengths)).  Each segment is a
+/// separate DMA descriptor — the access auditor observes every segment
+/// individually, at the op's remote execution instant.
+class OpBatch {
+ public:
+  /// Read [offset, offset+dst.size()) from `target` into `dst`.
+  void read(RemoteRegion target, std::size_t offset, std::span<std::byte> dst);
+  /// Scatter-read: remote bytes land in `sges` in order.
+  void read(RemoteRegion target, std::size_t offset,
+            std::vector<std::span<std::byte>> sges);
+  /// Write `src` to [offset, offset+src.size()) at `target`.
+  void write(RemoteRegion target, std::size_t offset,
+             std::span<const std::byte> src);
+  /// Gather-write: `sges` concatenate into the remote range.
+  void write(RemoteRegion target, std::size_t offset,
+             std::vector<std::span<const std::byte>> sges);
+  /// CAS; the old value is stored to *old_out (if non-null) at completion.
+  void compare_and_swap(RemoteRegion target, std::size_t offset,
+                        std::uint64_t compare, std::uint64_t swap,
+                        std::uint64_t* old_out = nullptr);
+  /// FAA; the old value is stored to *old_out (if non-null) at completion.
+  void fetch_and_add(RemoteRegion target, std::size_t offset,
+                     std::uint64_t add, std::uint64_t* old_out = nullptr);
+  /// Two-sided send riding the same doorbell.
+  void send(NodeId dst, std::uint32_t tag, std::vector<std::byte> payload);
+
+  std::size_t size() const { return wrs_.size(); }
+  bool empty() const { return wrs_.empty(); }
+
+ private:
+  friend class Hca;
+
+  enum class OpKind : std::uint8_t { kRead, kWrite, kCas, kFaa, kSend };
+
+  struct WorkRequest {
+    OpKind kind = OpKind::kRead;
+    NodeId target = 0;
+    std::uint32_t rkey = 0;
+    std::size_t offset = 0;
+    std::size_t total_len = 0;  // sum of SGE lengths / payload size
+    std::vector<std::span<std::byte>> dst_sges;        // read
+    std::vector<std::span<const std::byte>> src_sges;  // write
+    std::uint64_t arg0 = 0;  // cas: compare; faa: add
+    std::uint64_t arg1 = 0;  // cas: swap
+    std::uint64_t* old_out = nullptr;
+    std::uint32_t tag = 0;            // send
+    std::vector<std::byte> payload;   // send
+  };
+
+  std::vector<WorkRequest> wrs_;
+};
+
 class Hca {
  public:
   Hca(Network& net, fabric::Fabric& fab, NodeId node);
@@ -105,6 +168,16 @@ class Hca {
   sim::Task<std::uint64_t> fetch_and_add(RemoteRegion target,
                                          std::size_t offset,
                                          std::uint64_t add);
+
+  /// Posts a whole batch with one doorbell.  All requests serialize
+  /// back-to-back at this NIC (request k+1 overlaps request k's flight),
+  /// execute at their targets in posting order, and the poster wakes once —
+  /// after the last response lands — paying one completion cost for the
+  /// batch.  A batch of one op costs exactly the same as the serial call.
+  /// One-sided ops still consume zero target CPU.  Errors (unknown rkey,
+  /// bounds, dead target) surface as the same exceptions as the serial
+  /// path; ops that executed before the faulting op remain executed.
+  sim::Task<void> post(OpBatch batch);
 
   /// Timing-only one-sided write: models the full RDMA write cost to `dst`
   /// without touching registered memory.  Used by transports (SDP, flow
@@ -155,12 +228,19 @@ class Hca {
   void deliver(Message msg);
   sim::Channel<Message>& queue_for(std::uint32_t tag);
 
+  /// Executes one batched work request at the target (resolve per SGE
+  /// segment + data movement / atomic execute / mailbox delivery).
+  void execute_at_target(OpBatch::WorkRequest& wr, std::vector<std::byte>& data,
+                         std::uint64_t& old_value);
+
   Network& net_;
   fabric::Fabric& fab_;
   NodeId node_;
   std::uint32_t next_rkey_ = 1;
-  std::unordered_map<std::uint32_t, Registration> regions_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<sim::Channel<Message>>>
+  // Sorted flat maps: deterministic enumeration and cache-friendly small-map
+  // lookups on the (hot) batch-resolve path.
+  common::FlatMap<std::uint32_t, Registration> regions_;
+  common::FlatMap<std::uint32_t, std::unique_ptr<sim::Channel<Message>>>
       recv_queues_;
   std::uint64_t one_sided_ops_ = 0;
   std::uint64_t messages_sent_ = 0;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "ddss/ddss.hpp"
 #include "dlm/ncosed.hpp"
 #include "sockets/sdp.hpp"
+#include "trace/flight.hpp"
 #include "verbs/verbs.hpp"
 
 namespace dcs::audit {
@@ -297,6 +299,149 @@ TEST_F(AuditFixture, CleanRunSdpCreditedStream) {
   }(stream));
   eng.run();
   EXPECT_EQ(auditor.report_count(), 0u) << auditor.reports()[0].message;
+}
+
+// --- batched work queues (verbs::OpBatch) ---
+
+TEST_F(AuditFixture, BatchAuditorObservesEverySgeSegment) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto wr_region = net.hca(1).allocate_region(64);
+  auto rd_region = net.hca(2).allocate_region(64);
+
+  // One batch, two scatter-gather ops: the write gathers three local
+  // segments, the read scatters into two.  The target HCA issues one DMA
+  // descriptor per segment, so the auditor must see exactly five accesses —
+  // batching must not collapse the per-segment observation.
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion w,
+               verbs::RemoteRegion r) -> sim::Task<void> {
+    std::vector<std::byte> a(8, std::byte{1}), b(4, std::byte{2}),
+        c(12, std::byte{3});
+    std::vector<std::byte> d1(16), d2(48);
+    verbs::OpBatch batch;
+    batch.write(w, 0, std::vector<std::span<const std::byte>>{a, b, c});
+    batch.read(r, 0, std::vector<std::span<std::byte>>{d1, d2});
+    co_await n.hca(0).post(std::move(batch));
+  }(net, wr_region, rd_region));
+
+  eng.run();
+  EXPECT_EQ(auditor.report_count(), 0u);
+  EXPECT_EQ(auditor.accesses_checked(), 5u);
+}
+
+TEST_F(AuditFixture, DetectsUseAfterDeregisterMidBatch) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto live = net.hca(1).allocate_region(64);
+  auto stale = net.hca(1).allocate_region(64);
+
+  // The batch is posted while both regions are registered; a concurrent
+  // strand deregisters the second op's region while the batch is on the
+  // wire.  Validation happens at each op's execution instant, so the first
+  // op lands clean and the second still trips — a batch is not a licence
+  // to validate once at the doorbell.
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion a,
+               verbs::RemoteRegion b) -> sim::Task<void> {
+    Auditor::current()->name_strand("batcher");
+    // SGE rule: source spans must stay alive until post() completes.
+    const auto v1 = value_bytes(0x01);
+    const auto v2 = value_bytes(0x02);
+    verbs::OpBatch batch;
+    batch.write(a, 0, v1);
+    batch.write(b, 0, v2);
+    co_await n.hca(0).post(std::move(batch));
+  }(net, live, stale));
+  eng.spawn([](sim::Engine& e, verbs::Network& n,
+               std::uint32_t rkey) -> sim::Task<void> {
+    co_await e.delay(microseconds(1));  // after the doorbell, before arrival
+    n.hca(1).deregister(rkey);
+  }(eng, net, stale.rkey));
+
+  EXPECT_THROW(eng.run(), AuditError);
+  ASSERT_EQ(auditor.report_count(), 1u);
+  EXPECT_EQ(auditor.reports()[0].checker, "use-after-deregister");
+}
+
+TEST_F(AuditFixture, DetectsMisalignedAtomicInsidePostedBatch) {
+  Auditor auditor(eng);
+  auditor.install();
+  auto region = net.hca(1).allocate_region(64);
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion r) -> sim::Task<void> {
+    const auto v1 = value_bytes(0x01);
+    verbs::OpBatch batch;
+    batch.write(r, 0, v1);
+    batch.fetch_and_add(r, 4, 1);  // offset 4: misaligned
+    co_await n.hca(0).post(std::move(batch));
+  }(net, region));
+  EXPECT_THROW(eng.run(), AuditError);
+  ASSERT_EQ(auditor.report_count(), 1u);
+  EXPECT_EQ(auditor.reports()[0].checker, "atomic-shape");
+}
+
+TEST_F(AuditFixture, BatchOpOnReusedRkeyReportsBothViolations) {
+  Auditor auditor(eng, {.on_violation = OnViolation::kCount});
+  auditor.install();
+  auto region = net.hca(1).allocate_region(64);
+  const auto stale = region;
+  net.hca(1).deregister(region.rkey);
+  // An HCA bug re-issues the dead rkey: reuse is reported at registration
+  // time, and a batched op still naming the old registration is a
+  // use-after-deregister — the tombstone survives the reuse.
+  auditor.on_register(1, stale.rkey, stale.addr + 4096, 64);
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion r) -> sim::Task<void> {
+    const auto v1 = value_bytes(0x01);
+    verbs::OpBatch batch;
+    batch.write(r, 0, v1);
+    try {
+      co_await n.hca(0).post(std::move(batch));
+    } catch (const verbs::RemoteAccessError&) {
+      // kCount mode records the violation; the HCA still refuses the op.
+    }
+  }(net, stale));
+  eng.run();
+  ASSERT_EQ(auditor.report_count(), 2u);
+  EXPECT_EQ(auditor.reports()[0].checker, "rkey-reuse");
+  EXPECT_EQ(auditor.reports()[1].checker, "use-after-deregister");
+}
+
+TEST_F(AuditFixture, MidBatchViolationProducesPostmortemDump) {
+  trace::FlightRecorder recorder(eng, {.ring_capacity = 64});
+  recorder.install();
+  Auditor auditor(eng, {.on_violation = OnViolation::kPostmortem});
+  auditor.install();
+  auto live = net.hca(1).allocate_region(64);
+  auto stale = net.hca(1).allocate_region(64);
+  net.hca(1).deregister(stale.rkey);
+
+  eng.spawn([](verbs::Network& n, verbs::RemoteRegion a,
+               verbs::RemoteRegion b) -> sim::Task<void> {
+    trace::Request req("batch.stale", 0, 1);
+    const auto v1 = value_bytes(0x01);
+    const auto v2 = value_bytes(0x02);
+    verbs::OpBatch batch;
+    batch.write(a, 0, v1);
+    batch.write(b, 0, v2);
+    co_await n.hca(0).post(std::move(batch));
+  }(net, live, stale));
+
+  // kPostmortem still throws; the dump is captured before the unwind.
+  EXPECT_THROW(eng.run(), AuditError);
+  EXPECT_EQ(recorder.trips(), 1u);
+  EXPECT_EQ(recorder.last_reason(), "audit-violation");
+  bool violation_in_ring = false;
+  for (const trace::FlightRecord& rec : recorder.records(0)) {
+    if (rec.kind != 'V') continue;
+    violation_in_ring = true;
+    EXPECT_STREQ(rec.opcode, "use-after-deregister");
+  }
+  EXPECT_TRUE(violation_in_ring);
+  std::ostringstream os;
+  recorder.write_postmortem(os, recorder.last_reason().c_str(),
+                            recorder.last_detail());
+  recorder.uninstall();
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("\"schema\": \"dcs-postmortem-v1\""), std::string::npos);
+  EXPECT_NE(dump.find("batch.stale"), std::string::npos);
 }
 
 TEST_F(AuditFixture, UninstalledAuditorCostsNothingAndSeesNothing) {

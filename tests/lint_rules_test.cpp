@@ -209,6 +209,35 @@ TEST(LintRules, R4CleanLiteralSeriesAndSloNames) {
   EXPECT_TRUE(r.active.empty());
 }
 
+// Batch-API fixture pair: the batched verbs data path is a hot new surface,
+// so pin down that code driving verbs::OpBatch keeps both the concurrency
+// ban (R2: completion coalescing is engine events, never host threads) and
+// the literal-name discipline (R4: per-batch instrumentation must not bake
+// the depth into the opcode).
+TEST(LintRules, R2R4FlagBatchedPathViolations) {
+  auto r = run({{"src/ddss/batcher.cpp",
+                 "#include <mutex>\n"
+                 "static std::mutex doorbell_mu;  // guards OpBatch build\n"
+                 "sim::Task<void> flush(verbs::Hca& hca, verbs::OpBatch b) {\n"
+                 "  DCS_TRACE_SPAN(\"ddss\", \"flush.batch=\" + "
+                 "std::to_string(b.size()), 0);\n"
+                 "  co_await hca.post(std::move(b));\n"
+                 "}\n"}});
+  EXPECT_EQ(rules_of(r.active),
+            (std::vector<std::string>{"R2", "R2", "R4"}));
+}
+
+TEST(LintRules, R2R4CleanBatchedPath) {
+  auto r = run({{"src/ddss/batcher.cpp",
+                 "#include \"sim/sync.hpp\"\n"
+                 "sim::Task<void> flush(verbs::Hca& hca, verbs::OpBatch b) {\n"
+                 "  // depth rides the span's value argument, not its name\n"
+                 "  DCS_TRACE_SPAN(\"ddss\", \"flush.batch\", 0, b.size());\n"
+                 "  co_await hca.post(std::move(b));\n"
+                 "}\n"}});
+  EXPECT_TRUE(r.active.empty());
+}
+
 TEST(LintRules, R4AllowedWithReason) {
   auto r = run({{"src/verbs/qp.cpp",
                  "// dcs-lint: allow(R4, opcode set is a fixed enum table;\n"

@@ -248,6 +248,53 @@ TEST(TelemetryTest, ScrapedSnapshotMatchesRegistryWithZeroTargetCpu) {
   EXPECT_EQ(fab.node(1).busy_ns(), 0u);
 }
 
+TEST(TelemetryTest, ScrapeManyBatchesAllPagesWithZeroTargetCpu) {
+  trace::Registry::global().reset();
+  sim::Engine eng;
+  fabric::Fabric fab(eng, fabric::FabricParams{},
+                     {.num_nodes = 4, .cores_per_node = 1});
+  verbs::Network net(fab);
+  std::vector<std::unique_ptr<TelemetryExporter>> exporters;
+  TelemetryScraper scraper(net, 0);
+  for (fabric::NodeId node = 1; node < 4; ++node) {
+    exporters.push_back(std::make_unique<TelemetryExporter>(
+        net, node, TelemetrySchema::standard(), milliseconds(1)));
+    scraper.attach(*exporters.back());
+    // Two bounded mirror passes: the second (at 2 ms) lands after the
+    // raw writes below, so the scraped pages see their counters.
+    exporters.back()->start(/*passes=*/2);
+  }
+
+  std::vector<TelemetrySnapshot> snaps;
+  SimNanos serial_ns = 0, batched_ns = 0;
+  eng.spawn([](sim::Engine& e, verbs::Network& n, TelemetryScraper& sc,
+               std::vector<TelemetrySnapshot>& out, SimNanos& serial,
+               SimNanos& batched) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) co_await n.hca(0).raw_write(1, 4096);
+    co_await e.delay(milliseconds(3));  // past the exporters' last mirror
+    const std::vector<fabric::NodeId> targets = {1, 2, 3};
+    auto t0 = e.now();
+    for (const auto t : targets) (void)co_await sc.scrape(t);
+    serial = e.now() - t0;
+    t0 = e.now();
+    out = co_await sc.scrape_many(targets);
+    batched = e.now() - t0;
+  }(eng, net, scraper, snaps, serial_ns, batched_ns));
+  eng.run();
+
+  // Snapshots land in targets order, each decoding its own page.
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(snaps[0].value("verbs.raw_write.ops"), 3.0);
+  EXPECT_EQ(scraper.scrapes(), 6u);  // 3 serial + 3 batched
+  // One doorbell + pipelined page reads beat three serial round trips,
+  // and the targets' CPUs still never ran (RDMA-Sync batched is still
+  // RDMA-Sync).
+  EXPECT_LT(batched_ns, serial_ns);
+  for (fabric::NodeId node = 1; node < 4; ++node) {
+    EXPECT_EQ(fab.node(node).busy_ns(), 0u);
+  }
+}
+
 TEST(TelemetryTest, ExporterDeterministicAcrossRuns) {
   auto run = [] {
     trace::Registry::global().reset();

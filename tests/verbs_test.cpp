@@ -291,6 +291,197 @@ TEST_F(VerbsFixture, LargeTransferSlowerThanSmall) {
   EXPECT_GT(t_large, 10 * t_small);
 }
 
+// --- batched work queues (OpBatch) ---
+
+TEST_F(VerbsFixture, EmptyBatchCompletesInstantly) {
+  eng.spawn([](Network& n) -> sim::Task<void> {
+    co_await n.hca(0).post(OpBatch{});
+  }(net));
+  eng.run();
+  EXPECT_EQ(eng.now(), 0u);
+}
+
+TEST_F(VerbsFixture, BatchScatterGatherMovesBytes) {
+  auto region = net.hca(1).allocate_region(64);
+  const auto head = make_bytes({1, 2, 3});
+  const auto tail = make_bytes({4, 5, 6, 7, 8});
+  std::vector<std::byte> front(2), back(6);
+  eng.spawn([](Network& n, RemoteRegion r, const std::vector<std::byte>& a,
+               const std::vector<std::byte>& b, std::vector<std::byte>& f,
+               std::vector<std::byte>& k) -> sim::Task<void> {
+    // Gather two source segments into one contiguous remote write, then
+    // scatter the same remote bytes back across two destination segments —
+    // both ops in the same batch, completion order preserved.
+    OpBatch batch;
+    batch.write(r, 0, std::vector<std::span<const std::byte>>{a, b});
+    batch.read(r, 0, std::vector<std::span<std::byte>>{f, k});
+    co_await n.hca(0).post(std::move(batch));
+  }(net, region, head, tail, front, back));
+  eng.run();
+  EXPECT_EQ(front, make_bytes({1, 2}));
+  EXPECT_EQ(back, make_bytes({3, 4, 5, 6, 7, 8}));
+}
+
+TEST_F(VerbsFixture, BatchExecutesOpsInPostingOrder) {
+  auto region = net.hca(2).allocate_region(8);
+  std::uint64_t old1 = 99, old2 = 99, old3 = 99;
+  eng.spawn([](Network& n, RemoteRegion r, std::uint64_t& a, std::uint64_t& b,
+               std::uint64_t& c) -> sim::Task<void> {
+    // Each op's captured old value proves the one before it already
+    // executed: retirement at the target is strictly in posting order.
+    OpBatch batch;
+    batch.fetch_and_add(r, 0, 5, &a);           // 0 -> 5
+    batch.compare_and_swap(r, 0, 5, 77, &b);    // sees 5, swaps to 77
+    batch.fetch_and_add(r, 0, 1, &c);           // sees 77
+    co_await n.hca(0).post(std::move(batch));
+  }(net, region, old1, old2, old3));
+  eng.run();
+  EXPECT_EQ(old1, 0u);
+  EXPECT_EQ(old2, 5u);
+  EXPECT_EQ(old3, 77u);
+  auto mem = fab.node(2).memory().bytes(region.addr, 8);
+  EXPECT_EQ(load_u64(mem, 0), 78u);
+}
+
+TEST_F(VerbsFixture, BatchSpansMultipleTargets) {
+  auto r1 = net.hca(1).allocate_region(16);
+  auto r2 = net.hca(2).allocate_region(16);
+  auto r3 = net.hca(3).allocate_region(16);
+  eng.spawn([](Network& n, RemoteRegion a, RemoteRegion b,
+               RemoteRegion c) -> sim::Task<void> {
+    // SGE rule: source spans must stay alive until post() completes.
+    const auto va = make_bytes({0xA1});
+    const auto vb = make_bytes({0xB2});
+    const auto vc = make_bytes({0xC3});
+    OpBatch batch;
+    batch.write(a, 0, va);
+    batch.write(b, 0, vb);
+    batch.write(c, 0, vc);
+    co_await n.hca(0).post(std::move(batch));
+  }(net, r1, r2, r3));
+  eng.run();
+  EXPECT_EQ(fab.node(1).memory().bytes(r1.addr, 1)[0], std::byte{0xA1});
+  EXPECT_EQ(fab.node(2).memory().bytes(r2.addr, 1)[0], std::byte{0xB2});
+  EXPECT_EQ(fab.node(3).memory().bytes(r3.addr, 1)[0], std::byte{0xC3});
+  EXPECT_EQ(net.hca(0).one_sided_ops(), 3u);
+}
+
+TEST_F(VerbsFixture, BatchedOneSidedOpsConsumeNoTargetCpu) {
+  auto region = net.hca(1).allocate_region(4096);
+  std::vector<std::byte> buf(4096);
+  eng.spawn([](Network& n, RemoteRegion r,
+               std::vector<std::byte>& b) -> sim::Task<void> {
+    OpBatch batch;
+    for (int i = 0; i < 8; ++i) {
+      batch.read(r, 0, b);
+      batch.write(r, 0, b);
+      batch.fetch_and_add(r, 0, 1);
+    }
+    co_await n.hca(0).post(std::move(batch));
+  }(net, region, buf));
+  eng.run();
+  EXPECT_EQ(fab.node(1).busy_ns(), 0u) << "target CPU must stay idle";
+  EXPECT_EQ(net.hca(0).one_sided_ops(), 24u);
+}
+
+TEST_F(VerbsFixture, BatchedSendsDeliverTaggedMessages) {
+  std::string tag1_got, tag2_got;
+  eng.spawn([](Network& n, std::string& out) -> sim::Task<void> {
+    auto msg = co_await n.hca(1).recv(1);
+    out = Decoder(msg.payload).str();
+  }(net, tag1_got));
+  eng.spawn([](Network& n, std::string& out) -> sim::Task<void> {
+    auto msg = co_await n.hca(2).recv(2);
+    out = Decoder(msg.payload).str();
+  }(net, tag2_got));
+  eng.spawn([](Network& n) -> sim::Task<void> {
+    OpBatch batch;
+    batch.send(1, 1, Encoder().str("for-one").take());
+    batch.send(2, 2, Encoder().str("for-two").take());
+    co_await n.hca(0).post(std::move(batch));
+  }(net));
+  eng.run();
+  EXPECT_EQ(tag1_got, "for-one");
+  EXPECT_EQ(tag2_got, "for-two");
+}
+
+// A batch of one is delay-for-delay identical to the serial verb: same
+// doorbell charge, same wire serialization, same target-side delays, same
+// completion charge.  Timing equivalence keeps every rewired caller's
+// dcs-bench-v1 output byte-identical at depth 1.
+TEST(VerbsBatchTiming, BatchOfOneMatchesSerialDelayForDelay) {
+  auto run = [](bool batched) {
+    sim::Engine eng;
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 4, .cores_per_node = 2});
+    Network net(fab);
+    auto region = net.hca(1).allocate_region(4096);
+    std::vector<std::byte> buf(4096);
+    eng.spawn([](Network& n, RemoteRegion r, std::vector<std::byte>& b,
+                 bool use_batch) -> sim::Task<void> {
+      if (use_batch) {
+        { OpBatch x; x.read(r, 0, b); co_await n.hca(0).post(std::move(x)); }
+        { OpBatch x; x.write(r, 0, b); co_await n.hca(0).post(std::move(x)); }
+        {
+          OpBatch x;
+          x.fetch_and_add(r, 0, 1);
+          co_await n.hca(0).post(std::move(x));
+        }
+        {
+          OpBatch x;
+          x.compare_and_swap(r, 0, 1, 2);
+          co_await n.hca(0).post(std::move(x));
+        }
+        {
+          OpBatch x;
+          x.send(1, 7, std::vector<std::byte>(64, std::byte{1}));
+          co_await n.hca(0).post(std::move(x));
+        }
+      } else {
+        co_await n.hca(0).read(r, 0, b);
+        co_await n.hca(0).write(r, 0, b);
+        (void)co_await n.hca(0).fetch_and_add(r, 0, 1);
+        (void)co_await n.hca(0).compare_and_swap(r, 0, 1, 2);
+        co_await n.hca(0).send(1, 7, std::vector<std::byte>(64, std::byte{1}));
+      }
+    }(net, region, buf, batched));
+    eng.run();
+    return eng.now();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Depth-8 pipelining: serialization of op k+1 overlaps the flight of op k
+// and the batch charges one doorbell + one completion, so the batch must
+// finish well before eight serial round trips — but no faster than a
+// single op (the wire is not free).
+TEST(VerbsBatchTiming, DeepBatchPipelinesTheWire) {
+  auto run = [](int serial_ops, int batch_ops) {
+    sim::Engine eng;
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 4, .cores_per_node = 2});
+    Network net(fab);
+    auto region = net.hca(1).allocate_region(4096);
+    std::vector<std::byte> buf(4096);
+    eng.spawn([](Network& n, RemoteRegion r, std::vector<std::byte>& b,
+                 int serial, int batched) -> sim::Task<void> {
+      for (int i = 0; i < serial; ++i) co_await n.hca(0).read(r, 0, b);
+      if (batched > 0) {
+        OpBatch x;
+        for (int i = 0; i < batched; ++i) x.read(r, 0, b);
+        co_await n.hca(0).post(std::move(x));
+      }
+    }(net, region, buf, serial_ops, batch_ops));
+    eng.run();
+    return eng.now();
+  };
+  const auto one_serial = run(1, 0);
+  const auto eight_serial = run(8, 0);
+  const auto eight_batched = run(0, 8);
+  EXPECT_LT(eight_batched, eight_serial);
+  EXPECT_GT(eight_batched, one_serial);
+}
+
 // --- wire encoder/decoder ---
 
 TEST(WireTest, EncodeDecodeRoundTrip) {
