@@ -45,8 +45,10 @@
 #include "fabric/fabric.hpp"
 #include "harness.hpp"
 #include "monitor/telemetry.hpp"
+#include "obs/heavy.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
+#include "trace/exemplar.hpp"
 #include "sim/shard.hpp"
 #include "trace/flight.hpp"
 #include "trace/shard_metrics.hpp"
@@ -80,6 +82,7 @@ struct ScaleConfig {
   std::uint64_t scrape_us = 25;  // telemetry scrape cadence (virtual us)
   std::uint64_t scrapes = 20;    // scrape sweeps per partition
   bool observe = false;          // --timeseries-out / --slo requested
+  bool attribute = false;        // --hotset-out / --exemplars-out / --hot-keys
 };
 
 /// Everything one partition owns: a Fabric slice of the datacenter plus the
@@ -131,6 +134,15 @@ struct PartitionDump {
   std::uint64_t publishes = 0;
   std::uint64_t flight_trips = 0;
   std::vector<std::string> dump_paths;
+  /// Attribution slice (--hotset-out / --exemplars-out): the serve path
+  /// feeds THESE sketches explicitly — never the worker's ambient hot
+  /// sink — so their contents are a function of the partition alone and
+  /// the merged dumps are byte-identical for every --shards value.  Only
+  /// the owning partition's strands touch its slot, and worker join
+  /// publishes the writes to the main thread.
+  obs::HeavyHitters hot;
+  trace::ExemplarStore exemplars;
+  std::uint64_t serves = 0;
 };
 
 /// Per-partition observability plane: an RDMA-Sync exporter/scraper pair
@@ -188,7 +200,8 @@ struct ObsPlane {
 /// injected breach the SLO burn-rate rule must catch.
 sim::Task<void> serve_request(sim::Shard& shard,
                               std::shared_ptr<PartitionHost> host,
-                              ScaleConfig cfg, sim::ShardMsg msg) {
+                              ScaleConfig cfg, sim::ShardMsg msg,
+                              std::vector<PartitionDump>* slots) {
   const auto t0 = shard.engine().now();
   const auto local_nodes = host->fab.size();
   const auto node = static_cast<fabric::NodeId>(msg.a % local_nodes);
@@ -197,6 +210,7 @@ sim::Task<void> serve_request(sim::Shard& shard,
   if (shard.index() == cfg.hot_shard) {
     co_await host->fab.node(node).execute(microseconds(40));
   }
+  const SimNanos cpu_ns = shard.engine().now() - t0;
   DCS_CHECK_MSG(!host->allocs.empty(), "request arrived before boot finished");
   std::array<std::byte, kValueBytes> buf{};
   auto client = host->substrate.client(node);
@@ -206,6 +220,22 @@ sim::Task<void> serve_request(sim::Shard& shard,
   if (served_in > kSlowServeNs) host->serve_reg.counter("scale.serve.slow").add(1);
   host->serve_reg.histogram("scale.serve.latency_ns")
       .record(static_cast<std::uint64_t>(served_in));
+  if (cfg.attribute) {
+    PartitionDump& dump = (*slots)[shard.index()];
+    dump.hot.record_hot("scale.serve.node", msg.a, 1);
+    dump.hot.record_hot("scale.serve.object", msg.a % host->allocs.size(), 1);
+    // Request ids are globally unique and deterministic: serves within a
+    // partition execute in virtual-time order regardless of --shards, so
+    // the per-partition sequence number is stable.
+    const std::uint64_t rid =
+        (std::uint64_t{shard.index() + 1} << 32) | ++dump.serves;
+    std::array<SimNanos, trace::kCostCategories> split{};
+    split[static_cast<std::size_t>(trace::Cost::kHostCpu) - 1] = cpu_ns;
+    split[static_cast<std::size_t>(trace::Cost::kWire) - 1] =
+        served_in - cpu_ns;
+    dump.exemplars.record(shard.index(), "scale.serve.latency_ns", served_in,
+                          rid, split);
+  }
   shard.send(msg.src, kResp, msg.a, msg.b);
 }
 
@@ -306,11 +336,12 @@ void setup_partition(sim::Shard& shard, const ScaleConfig& cfg,
                      std::vector<PartitionDump>* slots) {
   auto host = std::make_shared<PartitionHost>(shard.engine(), cfg);
   host->substrate.start();
-  shard.set_handler([host, cfg](sim::Shard& s, const sim::ShardMsg& msg) {
+  shard.set_handler([host, cfg, slots](sim::Shard& s,
+                                       const sim::ShardMsg& msg) {
     auto& reg = trace::Registry::global();
     if (msg.tag == kReq) {
       reg.counter("scale.remote.served").add(1);
-      s.engine().spawn(serve_request(s, host, cfg, msg));
+      s.engine().spawn(serve_request(s, host, cfg, msg, slots));
     } else {
       reg.counter("scale.remote.resp").add(1);
       reg.counter("scale.remote.rtt_total_ns").add(s.engine().now() - msg.b);
@@ -445,6 +476,57 @@ int run(const ScaleConfig& cfg, const bench::HarnessOptions& opts) {
     }
   }
 
+  if (cfg.attribute) {
+    // Merge the per-partition attribution slices in partition order.  The
+    // space-saving merge and the exemplar argmax are both
+    // grouping-independent, so — like the fingerprint — the dumps are
+    // byte-identical for every --shards value.
+    obs::HeavyHitters hot;
+    trace::ExemplarStore exemplars;
+    std::uint64_t serves = 0;
+    for (const PartitionDump& slot : slots) {
+      hot.merge(slot.hot);
+      exemplars.merge(slot.exemplars);
+      serves += slot.serves;
+    }
+    std::printf("  attribution      %" PRIu64 " serve(s) attributed\n", serves);
+    if (opts.hot_keys > 0) {
+      for (const char* domain : {"scale.serve.node", "scale.serve.object"}) {
+        const auto entries = hot.top(domain, opts.hot_keys);
+        std::uint64_t total = 0;
+        for (const auto& e : entries) total += e.count;
+        std::printf("  hot %s (top %zu of %" PRIu64 "):\n", domain,
+                    entries.size(), total);
+        for (const auto& e : entries) {
+          std::printf("    key=%" PRIu64 " count=%" PRIu64 " error=%" PRIu64
+                      "\n",
+                      e.key, e.count, e.error);
+        }
+      }
+    }
+    if (!opts.hotset_out.empty()) {
+      std::ofstream os(opts.hotset_out);
+      if (!os) {
+        std::fprintf(stderr, "bench: cannot open %s\n",
+                     opts.hotset_out.c_str());
+        return 1;
+      }
+      obs::write_hotset_json(os, hot);
+      std::fprintf(stderr, "bench: hotset -> %s\n", opts.hotset_out.c_str());
+    }
+    if (!opts.exemplars_out.empty()) {
+      std::ofstream os(opts.exemplars_out);
+      if (!os) {
+        std::fprintf(stderr, "bench: cannot open %s\n",
+                     opts.exemplars_out.c_str());
+        return 1;
+      }
+      trace::write_exemplar_json(os, exemplars);
+      std::fprintf(stderr, "bench: exemplars -> %s\n",
+                   opts.exemplars_out.c_str());
+    }
+  }
+
   if (!opts.wall_json.empty()) {
     std::ofstream os(opts.wall_json);
     if (!os) {
@@ -517,7 +599,8 @@ int main(int argc, char** argv) {
                    "[--seed=S] [--clients=C] [--ops=K] [--hot-shard=P] "
                    "[--scrape-us=U] [--scrapes=K] [--bench-wall-json FILE] "
                    "[--timeseries-out FILE] [--slo FILE] "
-                   "[--postmortem-dir DIR]\n",
+                   "[--postmortem-dir DIR] [--hotset-out FILE] "
+                   "[--exemplars-out FILE] [--hot-keys N]\n",
                    argv[0]);
       return 2;
     }
@@ -533,5 +616,6 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.observe = !opts.timeseries_out.empty() || !opts.slo_rules.empty();
+  cfg.attribute = opts.attribution_mode();
   return dcs::run(cfg, opts);
 }

@@ -3,7 +3,9 @@
 // and the global memory aggregator's striping bandwidth.
 #include <benchmark/benchmark.h>
 
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/zipf.hpp"
 #include "ddss/aggregator.hpp"
 #include "ddss/ddss.hpp"
 #include "harness.hpp"
@@ -206,6 +208,48 @@ int run_harness(const bench::HarnessOptions& opts) {
             });
     }
   }
+  // Zipf-keyed gets over a 64-object working set: the attribution scenario.
+  // Under --hotset-out / --hot-keys the harness arms the ambient hot sink,
+  // so the DCS_HOT("ddss.object", ...) sites inside the substrate's get
+  // path feed the top-K sketch — low Zipf ranks must dominate it.
+  h.run("get/zipf", [&](bench::Scenario& s) {
+    auto& eng = s.engine();
+    fabric::Fabric fab(eng, fabric::FabricParams{},
+                       {.num_nodes = 2, .mem_per_node = 4u << 20});
+    verbs::Network net(fab);
+    ddss::Ddss substrate(net);
+    substrate.start();
+    eng.spawn([](sim::Engine& e, ddss::Ddss& d,
+                 bench::Scenario& out) -> sim::Task<void> {
+      auto client = d.client(0);
+      constexpr std::size_t kBytes = 512;
+      constexpr std::size_t kObjects = 64;
+      std::vector<std::byte> value(kBytes, std::byte{1});
+      std::vector<ddss::Allocation> allocs;
+      allocs.reserve(kObjects);
+      for (std::size_t j = 0; j < kObjects; ++j) {
+        allocs.push_back(co_await client.allocate(
+            kBytes, ddss::Coherence::kWrite, ddss::Placement::kRemote));
+        co_await client.put(allocs.back(), value);
+      }
+      Rng rng(7);
+      ZipfSampler zipf(kObjects, 0.9);
+      std::vector<std::byte> buf(kBytes);
+      constexpr int kOps = 200;
+      for (int i = 0; i < kOps; ++i) {
+        const auto rank = zipf.sample(rng);
+        const auto t0 = e.now();
+        {
+          trace::Request req("ddss.get", 0, static_cast<std::uint64_t>(i));
+          co_await client.get(allocs[rank], buf);
+        }
+        out.latency_ns(static_cast<double>(e.now() - t0));
+      }
+    }(eng, substrate, s));
+    eng.run();
+    s.zipf_alpha(0.9);
+    s.metric("get_bytes", 512);
+  });
   return h.finish();
 }
 

@@ -17,7 +17,9 @@
 #include "common/table.hpp"
 #include "common/zipf.hpp"
 #include "datacenter/workload.hpp"
+#include "harness.hpp"
 #include "monitor/monitor.hpp"
+#include "trace/hot.hpp"
 
 namespace {
 
@@ -33,9 +35,13 @@ const std::vector<MonScheme> kSchemes = {
     MonScheme::kSocketSync, MonScheme::kRdmaAsync, MonScheme::kRdmaSync,
     MonScheme::kERdmaSync};
 
+/// Marks a RUBiS request, which has no document rank to attribute.
+constexpr std::size_t kNoDoc = ~std::size_t{0};
+
 struct Request {
   SimNanos cpu;
   std::size_t reply_bytes;
+  std::size_t doc = kNoDoc;  // Zipf document rank (kNoDoc for RUBiS ops)
 };
 
 std::vector<Request> make_mixed_trace(double alpha) {
@@ -51,7 +57,7 @@ std::vector<Request> make_mixed_trace(double alpha) {
       const auto rank = zipf.sample(rng);
       const bool popular = rank < kNumDocs / 10;
       trace.push_back(Request{popular ? microseconds(150) : microseconds(1400),
-                              16384});
+                              16384, rank});
     } else {
       const auto& op = datacenter::rubis_mix()[rubis[i]];
       trace.push_back(Request{op.cpu, op.reply_bytes});
@@ -90,6 +96,9 @@ double throughput_tps(MonScheme scheme, double alpha,
       co_await e.delay(milliseconds(1));
       while (cur < reqs.size()) {
         const Request r = reqs[cur++];
+        // Attribute document heat at dispatch: a no-op unless a hot sink
+        // is armed (--hotset-out / --hot-keys via the bench harness).
+        if (r.doc != kNoDoc) DCS_HOT("monitor.doc", r.doc, 1);
         co_await d.dispatch(r.cpu, r.reply_bytes);
       }
       done = std::max(done, e.now());
@@ -159,6 +168,28 @@ void print_cores_variant(std::size_t cores) {
               " cores/node (Socket-Sync recovers with CPU headroom)");
 }
 
+/// Harnessed scenarios (docs/BENCHMARKS.md): one scenario per
+/// scheme/alpha pair reporting the TPS metric and recording the Zipf skew
+/// in the wall JSON (`zipf_alpha`), so regressions can be compared at
+/// matched skew.  Under --hotset-out / --hot-keys the harness arms the
+/// ambient hot sink and the dispatch-time DCS_HOT("monitor.doc", ...)
+/// feeds the top-K sketch with document ranks.
+int run_harness(const bench::HarnessOptions& opts) {
+  bench::Harness h("monitor_zipf", opts);
+  for (const auto scheme : kSchemes) {
+    for (const double alpha : kAlphas) {
+      h.run(std::string(monitor::to_string(scheme)) + "/a=" +
+                Table::fmt(alpha, 2),
+            [&](bench::Scenario& s) {
+              const double tps = throughput_tps(scheme, alpha);
+              s.zipf_alpha(alpha);
+              s.metric("tps", tps);
+            });
+    }
+  }
+  return h.finish();
+}
+
 void BM_MonitorZipf(benchmark::State& state) {
   const auto scheme = state.range(0) == 0 ? MonScheme::kSocketAsync
                                           : kSchemes[static_cast<std::size_t>(
@@ -180,6 +211,8 @@ BENCHMARK(BM_MonitorZipf)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto flags = bench::extract_harness_flags(argc, argv);
+  if (flags.harness_mode()) return run_harness(flags);
   // Strip --cores-per-node=N before google-benchmark sees the argv.
   std::size_t cores_variant = 0;
   for (int i = 1; i < argc; ++i) {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "trace/flight.hpp"
+#include "trace/hot.hpp"
 
 namespace dcs::bench {
 
@@ -53,8 +54,12 @@ HarnessOptions extract_harness_flags(int& argc, char** argv) {
   opts.trace_out = take_flag(argc, argv, "--trace-out");
   opts.metrics_out = take_flag(argc, argv, "--metrics-out");
   opts.postmortem_dir = take_flag(argc, argv, "--postmortem-dir");
+  opts.exemplars_out = take_flag(argc, argv, "--exemplars-out");
+  opts.hotset_out = take_flag(argc, argv, "--hotset-out");
   const std::string batch = take_flag(argc, argv, "--batch");
   if (!batch.empty()) opts.batch = std::stoul(batch);
+  const std::string hot_keys = take_flag(argc, argv, "--hot-keys");
+  if (!hot_keys.empty()) opts.hot_keys = std::stoul(hot_keys);
   return opts;
 }
 
@@ -86,7 +91,12 @@ void Harness::run(const std::string& scenario,
   }
   Scenario ctx(eng);
   const auto wall_start = std::chrono::steady_clock::now();
-  body(ctx);
+  {
+    // DCS_HOT sites in ddss/dlm/verbs feed the shared sketch while the
+    // body runs; without attribution the sites stay one disarmed branch.
+    trace::ScopedHotSink hot_sink(opts_.attribution_mode() ? &hot_ : nullptr);
+    body(ctx);
+  }
   const auto wall_end = std::chrono::steady_clock::now();
   if (flight != nullptr) flight->uninstall();
   tracer.uninstall();
@@ -100,6 +110,7 @@ void Harness::run(const std::string& scenario,
                                                            wall_start)
           .count());
   snap.batch = ctx.batch_depth_;
+  snap.zipf_alpha = ctx.zipf_alpha_;
   snap.metrics = std::move(ctx.metrics_);
   snap.latency_count = ctx.latency_.count();
   if (snap.latency_count > 0) {
@@ -121,6 +132,15 @@ void Harness::run(const std::string& scenario,
                            eng.now(), trace::Registry::global());
   }
   const trace::CriticalPath cp(tracer);
+  if (opts_.attribution_mode()) {
+    // Every traced request becomes an exemplar candidate: the scenario
+    // ordinal stands in as the node id (as in the time-series ingest) and
+    // the request name keys the series.
+    for (const trace::Breakdown& bd : cp.requests()) {
+      exemplars_.record(static_cast<std::uint32_t>(snapshots_.size()),
+                        bd.name, bd.total, bd.request, bd.by_cost);
+    }
+  }
   if (cp.aggregate().count > 0) {
     std::ostringstream agg;
     trace::write_breakdown_json(agg, cp.aggregate());
@@ -194,6 +214,9 @@ int Harness::finish() {
            << "      \"events_per_sec\": " << fmt_f3(eps) << ",\n"
            << "      \"ns_per_event\": " << fmt_f3(npe);
         if (sn.batch > 0) os << ",\n      \"batch\": " << sn.batch;
+        if (sn.zipf_alpha >= 0) {
+          os << ",\n      \"zipf_alpha\": " << fmt_f3(sn.zipf_alpha);
+        }
         os << "\n    }" << (s + 1 < snapshots_.size() ? "," : "") << "\n";
         std::fprintf(stderr,
                      "bench: wall %s/%s: %llu events, %.1f ns/event, "
@@ -251,6 +274,41 @@ int Harness::finish() {
         obs::write_timeseries_json(os, store_, slo.alerts());
         std::fprintf(stderr, "bench: %zu series -> %s\n",
                      store_.all().size(), opts_.timeseries_out.c_str());
+      }
+    }
+  }
+  if (!opts_.hotset_out.empty()) {
+    std::ofstream os(opts_.hotset_out);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open %s\n",
+                   opts_.hotset_out.c_str());
+      rc = 1;
+    } else {
+      obs::write_hotset_json(os, hot_);
+      std::fprintf(stderr, "bench: hotset -> %s\n", opts_.hotset_out.c_str());
+    }
+  }
+  if (!opts_.exemplars_out.empty()) {
+    std::ofstream os(opts_.exemplars_out);
+    if (!os) {
+      std::fprintf(stderr, "bench: cannot open %s\n",
+                   opts_.exemplars_out.c_str());
+      rc = 1;
+    } else {
+      trace::write_exemplar_json(os, exemplars_);
+      std::fprintf(stderr, "bench: exemplars -> %s\n",
+                   opts_.exemplars_out.c_str());
+    }
+  }
+  if (opts_.hot_keys > 0) {
+    for (const std::string& domain : hot_.domains()) {
+      std::printf("hot %s (total=%llu):\n", domain.c_str(),
+                  static_cast<unsigned long long>(hot_.total(domain)));
+      for (const obs::HotEntry& e : hot_.top(domain, opts_.hot_keys)) {
+        std::printf("  key=%llu count=%llu error=%llu\n",
+                    static_cast<unsigned long long>(e.key),
+                    static_cast<unsigned long long>(e.count),
+                    static_cast<unsigned long long>(e.error));
       }
     }
   }

@@ -34,10 +34,12 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/heavy.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "sim/engine.hpp"
 #include "trace/critical_path.hpp"
+#include "trace/exemplar.hpp"
 #include "trace/observe.hpp"
 #include "trace/trace.hpp"
 
@@ -52,6 +54,9 @@ namespace dcs::bench {
 ///   --critical-path FILE    plain-text attribution report
 ///   --timeseries-out FILE   dcs-timeseries-v1 cluster time-series dump
 ///   --slo FILE              SLO rule file evaluated against the dump
+///   --exemplars-out FILE    dcs-exemplar-v1 tail-exemplar dump
+///   --hotset-out FILE       dcs-hotset-v1 hot-key sketch dump
+///   --hot-keys N            print the top-N hot-key table per domain
 /// Single-run observation flags (trace::ObservedRun):
 ///   --trace-out FILE        Chrome trace_event JSON
 ///   --metrics-out FILE      metrics registry dump
@@ -66,6 +71,8 @@ struct HarnessOptions {
   std::string critical_path;  // plain-text attribution report
   std::string timeseries_out; // dcs-timeseries-v1 dump (obs/timeseries.hpp)
   std::string slo_rules;      // SLO rule file (obs/slo.hpp syntax)
+  std::string exemplars_out;  // dcs-exemplar-v1 dump (trace/exemplar.hpp)
+  std::string hotset_out;     // dcs-hotset-v1 dump (obs/heavy.hpp)
   std::string trace_out;      // Chrome trace_event JSON file
   std::string metrics_out;    // plain-text metrics dump file
   std::string postmortem_dir; // flight-recorder dump directory
@@ -74,11 +81,20 @@ struct HarnessOptions {
   /// depth per scenario via Scenario::batch_depth; it lands as a "batch"
   /// field in the wall JSON so batch depth is a first-class bench axis.
   std::size_t batch = 0;
+  /// --hot-keys N: print the top-N entries of every DCS_HOT domain after
+  /// the run (0 = no table).  Independent of --hotset-out.
+  std::size_t hot_keys = 0;
 
   /// Multi-scenario telemetry requested (run the bench::Harness path).
   bool harness_mode() const {
     return !bench_json.empty() || !wall_json.empty() ||
-           !critical_path.empty() || !timeseries_out.empty();
+           !critical_path.empty() || !timeseries_out.empty() ||
+           attribution_mode();
+  }
+  /// Hot-key / exemplar attribution requested (a HeavyHitters sink is
+  /// installed around every scenario and exemplars are retained).
+  bool attribution_mode() const {
+    return !exemplars_out.empty() || !hotset_out.empty() || hot_keys > 0;
   }
   /// Single-run observation requested (run the trace::ObservedRun path).
   bool observe_mode() const {
@@ -124,6 +140,10 @@ class Scenario {
   /// Tags the scenario with the verbs batch depth it ran at; written as the
   /// "batch" field of the wall JSON (0 = not a batched scenario).
   void batch_depth(std::size_t n) { batch_depth_ = n; }
+  /// Tags the scenario with its workload's Zipf skew; written as the
+  /// "zipf_alpha" field of the wall JSON so hot-key tables are
+  /// interpretable (negative = no Zipf workload).
+  void zipf_alpha(double alpha) { zipf_alpha_ = alpha; }
 
  private:
   friend class Harness;
@@ -131,6 +151,7 @@ class Scenario {
   std::map<std::string, double> metrics_;
   LatencySamples latency_;
   std::size_t batch_depth_ = 0;
+  double zipf_alpha_ = -1.0;
 };
 
 /// Collects scenario snapshots and writes the canonical JSON.
@@ -160,6 +181,7 @@ class Harness {
     std::uint64_t events = 0;    // engine events dispatched by the scenario
     double wall_ns = 0;          // host time spent inside the body
     std::size_t batch = 0;       // verbs batch depth (0 = not batched)
+    double zipf_alpha = -1.0;    // workload Zipf skew (negative = none)
     std::map<std::string, double> metrics;
     // Latency percentiles (ns); count == 0 when the scenario recorded none.
     std::size_t latency_count = 0;
@@ -173,6 +195,11 @@ class Harness {
   HarnessOptions opts_;
   std::vector<Snapshot> snapshots_;
   obs::TimeSeriesStore store_;
+  /// Attribution sinks, fed across scenarios: the hot sink is installed
+  /// thread-locally around each body; exemplars ingest from the tracer's
+  /// per-request critical paths after each scenario.
+  obs::HeavyHitters hot_;
+  trace::ExemplarStore exemplars_;
 };
 
 }  // namespace dcs::bench

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "audit/audit.hpp"
+#include "trace/hot.hpp"
 #include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
@@ -318,6 +319,7 @@ sim::Task<void> Client::put(const Allocation& alloc,
   metrics().put_ops.add();
   metrics().put_bytes.add(value.size());
   DCS_TRACE_SPAN("ddss", "put", node_, alloc.key, to_string(alloc.coherence));
+  DCS_HOT("ddss.object", alloc.key, 1);
   const SimNanos put_t0 = ddss_.engine().now();
   co_await ipc_hop();
   auto& hca = ddss_.net_.hca(node_);
@@ -403,6 +405,7 @@ sim::Task<void> Client::get(const Allocation& alloc, std::span<std::byte> out) {
   metrics().get_ops.add();
   metrics().get_bytes.add(out.size());
   DCS_TRACE_SPAN("ddss", "get", node_, alloc.key, to_string(alloc.coherence));
+  DCS_HOT("ddss.object", alloc.key, 1);
   const SimNanos get_t0 = ddss_.engine().now();
   co_await ipc_hop();
   auto& hca = ddss_.net_.hca(node_);
@@ -555,6 +558,7 @@ sim::Task<void> Client::put_many(std::span<const PutOp> ops) {
     DCS_CHECK(alloc.valid());
     DCS_CHECK_MSG(op.value.size() <= alloc.size, "put larger than allocation");
     if (!batchable_put(alloc.coherence)) continue;
+    DCS_HOT("ddss.object", alloc.key, 1);
     metrics().put_ops.add();
     metrics().put_bytes.add(op.value.size());
     auto it = std::find_if(per_home.begin(), per_home.end(),
@@ -605,6 +609,7 @@ sim::Task<void> Client::get_many(std::span<const GetOp> ops) {
     DCS_CHECK(alloc.valid());
     DCS_CHECK_MSG(op.out.size() <= alloc.size, "get larger than allocation");
     if (!batchable_get(alloc.coherence)) continue;
+    DCS_HOT("ddss.object", alloc.key, 1);
     metrics().get_ops.add();
     metrics().get_bytes.add(op.out.size());
     auto it = std::find_if(per_home.begin(), per_home.end(),

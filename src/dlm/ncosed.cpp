@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "trace/hot.hpp"
 #include "trace/trace.hpp"
 #include "verbs/wire.hpp"
 
@@ -67,6 +68,7 @@ sim::Task<void> NcosedLockManager::lock(NodeId self, LockId id,
   DCS_TRACE_COST_SPAN(trace::Cost::kLockWait, "dlm", "lock", self, id,
                       mode == LockMode::kShared ? "N-CoSED/shared"
                                                 : "N-CoSED/exclusive");
+  DCS_HOT("dlm.lock", id, 1);
   const SimNanos t0 = net_.fabric().engine().now();
   if (mode == LockMode::kShared) {
     metrics().shared_locks.add();

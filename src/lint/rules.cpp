@@ -219,6 +219,9 @@ const std::vector<TraceMacro>& r4_macros() {
       // byte stability rests on runtime string values.
       {"DCS_SERIES", 0, -1},
       {"DCS_SLO_NAME", 0, -1},
+      // Hot-object attribution: the sketch domain must be a literal, or
+      // the dcs-hotset-v1 dump's domain set depends on runtime strings.
+      {"DCS_HOT", 0, -1},
   };
   return kMacros;
 }

@@ -88,6 +88,33 @@ void SloEngine::evaluate(SimNanos now) {
     for (const std::uint32_t node : store_.nodes()) {
       double value = 0.0, threshold = 0.0;
       if (!measure(rule, node, &value, &threshold)) continue;
+      // Arming is handled before the firing transition so that when a
+      // breach lands, the flight recorder is already in full capture and
+      // the alert.firing record itself is never sampled away.
+      const double arm_threshold = rule.arm_fraction * threshold;
+      const bool armed = rule.arm_fraction > 0.0 && value > arm_threshold;
+      bool& arm_state = armed_[{r, node}];
+      if (armed != arm_state) {
+        arm_state = armed;
+        capture_events_.push_back(
+            AlertEvent{now, rule.name, node, armed, value, arm_threshold});
+        if (armed) {
+          ++armed_count_;
+          if (flight_ != nullptr) {
+            if (armed_count_ == 1) flight_->set_full_capture(true);
+            flight_->log("obs", "capture.armed", node, r,
+                         static_cast<std::uint64_t>(value * 1000.0));
+          }
+        } else {
+          --armed_count_;
+          if (flight_ != nullptr) {
+            // Log while still in full capture, then drop back to sampling.
+            flight_->log("obs", "capture.disarmed", node, r,
+                         static_cast<std::uint64_t>(value * 1000.0));
+            if (armed_count_ == 0) flight_->set_full_capture(false);
+          }
+        }
+      }
       const bool firing = value > threshold;
       bool& state = firing_[{r, node}];
       if (firing == state) continue;
@@ -123,14 +150,27 @@ std::vector<std::pair<std::string, std::uint32_t>> SloEngine::firing() const {
   return out;
 }
 
-void SloEngine::absorb(const std::vector<AlertEvent>& alerts) {
-  alerts_.insert(alerts_.end(), alerts.begin(), alerts.end());
-  std::stable_sort(alerts_.begin(), alerts_.end(),
+namespace {
+
+void absorb_sorted(std::vector<AlertEvent>& into,
+                   const std::vector<AlertEvent>& from) {
+  into.insert(into.end(), from.begin(), from.end());
+  std::stable_sort(into.begin(), into.end(),
                    [](const AlertEvent& a, const AlertEvent& b) {
                      if (a.time != b.time) return a.time < b.time;
                      if (a.rule != b.rule) return a.rule < b.rule;
                      return a.node < b.node;
                    });
+}
+
+}  // namespace
+
+void SloEngine::absorb(const std::vector<AlertEvent>& alerts) {
+  absorb_sorted(alerts_, alerts);
+}
+
+void SloEngine::absorb_captures(const std::vector<AlertEvent>& events) {
+  absorb_sorted(capture_events_, events);
 }
 
 std::vector<SloRule> parse_slo_rules(std::istream& in, std::string* error) {
@@ -195,6 +235,8 @@ std::vector<SloRule> parse_slo_rules(std::istream& in, std::string* error) {
           rule.fast_burn = std::stod(val);
         } else if (key == "slow_burn") {
           rule.slow_burn = std::stod(val);
+        } else if (key == "arm") {
+          rule.arm_fraction = std::stod(val);
         } else {
           return fail("unknown key `" + key + "`");
         }

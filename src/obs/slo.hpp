@@ -69,6 +69,12 @@ struct SloRule {
   double slow_burn = 6.0;
   /// Trip a post-mortem dump on the firing transition.
   bool trip_postmortem = false;
+  /// Trigger-armed deep capture: when the measured value crosses
+  /// `arm_fraction * threshold` (before the breach itself), the engine
+  /// flips the flight recorder from sampled to full capture, and flips it
+  /// back when the value drops under the arm threshold again.  0 disables
+  /// arming for this rule.
+  double arm_fraction = 0.5;
 };
 
 /// One deterministic alert-stream event: a (rule, node) firing-state
@@ -106,9 +112,20 @@ class SloEngine {
   /// (rule, node) pairs currently firing, in (rule declaration, node) order.
   std::vector<std::pair<std::string, std::uint32_t>> firing() const;
 
+  /// Capture arm/disarm transitions, same shape as alerts() with
+  /// firing == armed and threshold == the arm threshold.  Kept separate
+  /// from the alert stream so dcs-timeseries-v1 dumps are unchanged.
+  const std::vector<AlertEvent>& capture_events() const {
+    return capture_events_;
+  }
+  /// (rule, node) pairs currently armed for deep capture.
+  std::size_t armed_count() const { return armed_count_; }
+
   /// Adopts transitions evaluated elsewhere (per-partition engines of a
   /// sharded run); keeps the stream sorted by (time, rule, node).
   void absorb(const std::vector<AlertEvent>& alerts);
+  /// absorb() for the capture stream.
+  void absorb_captures(const std::vector<AlertEvent>& events);
 
  private:
   /// The rule's measured value on `node`; false when the series is absent.
@@ -119,7 +136,10 @@ class SloEngine {
   std::vector<SloRule> rules_;
   trace::FlightRecorder* flight_ = nullptr;
   std::vector<AlertEvent> alerts_;
+  std::vector<AlertEvent> capture_events_;
   std::map<std::pair<std::size_t, std::uint32_t>, bool> firing_;
+  std::map<std::pair<std::size_t, std::uint32_t>, bool> armed_;
+  std::size_t armed_count_ = 0;
 };
 
 /// Parses the declarative rule-file syntax (docs/OBSERVABILITY.md):
@@ -129,6 +149,9 @@ class SloEngine {
 ///   rule <name> rate series=<bad> total=<t> max=<frac> [windows=<w>]
 ///   rule <name> burn series=<bad> total=<t> budget=<frac> [fast=<w>]
 ///                    [slow=<w>] [fast_burn=<x>] [slow_burn=<x>] [postmortem]
+///
+/// Every kind also accepts arm=<fraction> (default 0.5, 0 disables): the
+/// deep-capture arming threshold as a fraction of the firing threshold.
 ///
 /// Returns the rules; on malformed input returns an empty vector and sets
 /// `error` to a one-line message with the offending line number.

@@ -81,6 +81,7 @@ void emit_log(const char* layer, const char* opcode, std::uint32_t node,
 FlightRecorder::FlightRecorder(sim::Engine& eng, FlightConfig config)
     : eng_(eng), config_(std::move(config)) {
   if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  if (config_.sample_period == 0) config_.sample_period = 1;
 }
 
 FlightRecorder::~FlightRecorder() { uninstall(); }
@@ -110,12 +111,45 @@ FlightRecorder* FlightRecorder::current() { return g_current_flight; }
 
 void FlightRecorder::push(std::uint32_t node, const FlightRecord& rec) {
   Ring& ring = rings_[node];
+  ++ring.offered;
   if (ring.buf.size() < config_.ring_capacity) {
     ring.buf.push_back(rec);
   } else {
     ring.buf[ring.total % config_.ring_capacity] = rec;
   }
   ++ring.total;
+}
+
+void FlightRecorder::push_sampled(std::uint32_t node,
+                                  const FlightRecord& rec) {
+  if (full_capture_ || config_.sample_period <= 1) {
+    push(node, rec);
+    return;
+  }
+  Ring& ring = rings_[node];
+  // Keep the 1st, (N+1)th, ... offered record per node — a deterministic
+  // decimation in offer order, so same-seed runs sample identically.
+  if (ring.offered % config_.sample_period != 0) {
+    ++ring.offered;
+    return;
+  }
+  push(node, rec);
+}
+
+void FlightRecorder::set_full_capture(bool on) {
+  if (full_capture_ == on) return;
+  full_capture_ = on;
+  // The transition record rides in the ring itself (node 0) so postmortem
+  // dumps show exactly when deep capture armed; it bypasses sampling.
+  FlightRecord rec;
+  rec.time = eng_.now();
+  rec.request = sim::strand_ctx().request;
+  rec.layer = "flight";
+  rec.opcode = on ? "capture.full" : "capture.sampled";
+  rec.a0 = config_.sample_period;
+  rec.node = 0;
+  rec.kind = 'L';
+  push(0, rec);
 }
 
 void FlightRecorder::touch(std::uint64_t request) {
@@ -136,7 +170,7 @@ void FlightRecorder::log(const char* layer, const char* opcode,
   rec.a1 = a1;
   rec.node = node;
   rec.kind = 'L';
-  push(node, rec);
+  push_sampled(node, rec);
   touch(rec.request);
 }
 
@@ -150,7 +184,7 @@ void FlightRecorder::instant(const char* category, const char* name,
   rec.a0 = id;
   rec.node = node;
   rec.kind = 'i';
-  push(node, rec);
+  push_sampled(node, rec);
   touch(rec.request);
 }
 
@@ -167,7 +201,7 @@ void FlightRecorder::span_close(const TraceEvent& ev) {
   rec.a1 = ev.end - ev.start;  // span duration
   rec.node = ev.node;
   rec.kind = 'S';
-  push(ev.node, rec);
+  push_sampled(ev.node, rec);
   if (ev.request != 0) {
     const auto it = in_flight_.find(ev.request);
     if (it != in_flight_.end()) {
@@ -242,6 +276,11 @@ std::vector<FlightRecord> FlightRecorder::records(std::uint32_t node) const {
 std::uint64_t FlightRecorder::total_records(std::uint32_t node) const {
   const auto it = rings_.find(node);
   return it == rings_.end() ? 0 : it->second.total;
+}
+
+std::uint64_t FlightRecorder::offered_records(std::uint32_t node) const {
+  const auto it = rings_.find(node);
+  return it == rings_.end() ? 0 : it->second.offered;
 }
 
 // --- trip conditions ---

@@ -71,6 +71,12 @@ struct FlightConfig {
   std::string prefix = "dcs";
   /// Safety valve: dumps written per recorder lifetime.
   std::size_t max_dumps = 8;
+  /// Sampled capture: keep every Nth offered log/instant/span record per
+  /// node (1 = keep everything).  Violations, request closes and capture
+  /// transitions are always kept.  `set_full_capture(true)` bypasses the
+  /// period until capture is disarmed — the trigger-armed deep-capture
+  /// path driven by obs::SloEngine burn-rate arming.
+  std::size_t sample_period = 1;
 };
 
 class FlightRecorder final : public sim::StallHook {
@@ -91,6 +97,13 @@ class FlightRecorder final : public sim::StallHook {
   sim::Engine& engine() { return eng_; }
   SimNanos now() const { return eng_.now(); }
   const FlightConfig& config() const { return config_; }
+
+  /// Flips sampled capture (config().sample_period) to full capture and
+  /// back.  Idempotent; a real transition logs a `flight/capture.*` record
+  /// (node 0) so dumps show exactly when deep capture was armed.  Driven
+  /// deterministically in virtual time by obs::SloEngine burn-rate arming.
+  void set_full_capture(bool on);
+  bool full_capture() const { return full_capture_; }
 
   // --- recording (macros and trace.hpp detail shims call these) ---
 
@@ -133,8 +146,11 @@ class FlightRecorder final : public sim::StallHook {
   std::vector<std::uint32_t> nodes() const;
   /// Retained records for `node`, oldest first.
   std::vector<FlightRecord> records(std::uint32_t node) const;
-  /// Total records ever pushed for `node` (>= records().size()).
+  /// Total records ever kept for `node` (>= records().size()).
   std::uint64_t total_records(std::uint32_t node) const;
+  /// Records offered for `node` including those dropped by sampling
+  /// (>= total_records()).
+  std::uint64_t offered_records(std::uint32_t node) const;
 
   // --- trips and dumps ---
 
@@ -160,10 +176,14 @@ class FlightRecorder final : public sim::StallHook {
  private:
   struct Ring {
     std::vector<FlightRecord> buf;  // capacity-sized once warm
-    std::uint64_t total = 0;        // records ever pushed
+    std::uint64_t total = 0;        // records kept (pushed into the ring)
+    std::uint64_t offered = 0;      // records offered, kept or sampled away
   };
 
   void push(std::uint32_t node, const FlightRecord& rec);
+  /// Push subject to the capture policy: drops all but every Nth offered
+  /// record per node when sampling and not in full capture.
+  void push_sampled(std::uint32_t node, const FlightRecord& rec);
   /// Refreshes last_activity for an in-flight request (any record counts).
   void touch(std::uint64_t request);
 
@@ -174,6 +194,7 @@ class FlightRecorder final : public sim::StallHook {
   std::uint64_t last_request_id_ = 0;
   std::uint64_t last_span_id_ = 0;
   std::uint64_t trips_ = 0;
+  bool full_capture_ = false;
   bool tripping_ = false;
   std::string last_reason_;
   std::string last_detail_;

@@ -1,0 +1,93 @@
+// Hot-key attribution hook: the DCS_HOT(domain, key, weight) macro and the
+// sink interface it feeds.
+//
+// The health plane (obs/slo.hpp) can say THAT a latency SLO is burning;
+// nothing below this layer can say WHICH object, lock or home node is
+// responsible.  DCS_HOT is the per-site answer: existing instrumentation
+// points (a DDSS get resolving an object, an N-CoSED lock acquire, a verbs
+// op addressing a home node) report `(domain, key, weight)` triples to an
+// installed HotSink — in practice an obs::HeavyHitters top-K sketch.
+//
+// The macro follows the DCS_LOG contract exactly:
+//
+//   - compiled out entirely under DCS_TRACE_DISABLED (arguments are never
+//     evaluated);
+//   - with tracing compiled in but no sink installed, one thread-local
+//     load and one predictable branch per site;
+//   - the domain argument must be a string literal (dcs-lint rule R4), so
+//     hot-set dumps stay grep-able and byte-stable.
+//
+// The sink pointer is thread_local, like trace::detail::Sinks: a sink
+// installed on the main thread observes only main-thread engines, and
+// sharded runs (sim/shard.hpp) must NOT install an ambient sink — workers
+// multiplex partitions, so partition attribution there uses explicit
+// per-partition sketches fed from the serve path instead (the same idiom
+// as the per-partition serve registry in bench_datacenter_scale).
+#pragma once
+
+#include <cstdint>
+
+namespace dcs::trace {
+
+/// Receiver of DCS_HOT triples.  Implementations must be cheap and must
+/// not touch the engine: a record is bookkeeping, never an event.
+class HotSink {
+ public:
+  virtual ~HotSink() = default;
+  /// `domain` is a string literal naming the key space ("ddss.object",
+  /// "dlm.lock", "verbs.home"); `key` is an id within it; `weight` scales
+  /// the observation (1 for an op, bytes for a transfer).
+  virtual void record_hot(const char* domain, std::uint64_t key,
+                          std::uint64_t weight) = 0;
+};
+
+namespace detail {
+
+/// One sink per OS thread (see header comment for the sharding rationale).
+inline HotSink*& hot_sink() {
+  static thread_local HotSink* sink = nullptr;
+  return sink;
+}
+
+}  // namespace detail
+
+/// Makes `sink` the calling thread's DCS_HOT receiver (nullptr disarms).
+/// Returns the previous sink so scoped installers can restore it.
+inline HotSink* set_hot_sink(HotSink* sink) {
+  HotSink* prev = detail::hot_sink();
+  detail::hot_sink() = sink;
+  return prev;
+}
+
+/// The calling thread's installed sink, or nullptr.
+inline HotSink* current_hot_sink() { return detail::hot_sink(); }
+
+/// RAII installer: arms `sink` for the scope, restores the previous sink
+/// on exit (harness scenarios nest cleanly).
+class ScopedHotSink {
+ public:
+  explicit ScopedHotSink(HotSink* sink) : prev_(set_hot_sink(sink)) {}
+  ~ScopedHotSink() { set_hot_sink(prev_); }
+  ScopedHotSink(const ScopedHotSink&) = delete;
+  ScopedHotSink& operator=(const ScopedHotSink&) = delete;
+
+ private:
+  HotSink* prev_;
+};
+
+}  // namespace dcs::trace
+
+/// Reports one hot-key observation to the thread's installed sink.
+/// `domain` must be a string literal (dcs-lint R4); `key`/`weight` are
+/// evaluated only when a sink is installed.
+#ifndef DCS_TRACE_DISABLED
+#define DCS_HOT(domain, key, weight)                                  \
+  do {                                                                \
+    if (::dcs::trace::detail::hot_sink() != nullptr) {                \
+      ::dcs::trace::detail::hot_sink()->record_hot(domain, key,       \
+                                                   weight);           \
+    }                                                                 \
+  } while (0)
+#else
+#define DCS_HOT(domain, key, weight) ((void)0)
+#endif

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "trace/hot.hpp"
 #include "trace/trace.hpp"
 
 namespace dcs::verbs {
@@ -133,6 +134,7 @@ sim::Task<void> Hca::read(RemoteRegion target, std::size_t offset,
   metrics().read_ops.add();
   metrics().read_bytes.add(dst.size());
   DCS_TRACE_SPAN("verbs", "read", node_, target.rkey);
+  DCS_HOT("verbs.home", target.node, dst.size());
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -168,6 +170,7 @@ sim::Task<void> Hca::write(RemoteRegion target, std::size_t offset,
   metrics().write_ops.add();
   metrics().write_bytes.add(src.size());
   DCS_TRACE_SPAN("verbs", "write", node_, target.rkey);
+  DCS_HOT("verbs.home", target.node, src.size());
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -203,6 +206,7 @@ sim::Task<std::uint64_t> Hca::compare_and_swap(RemoteRegion target,
   ++one_sided_ops_;
   metrics().cas_ops.add();
   DCS_TRACE_SPAN("verbs", "cas", node_, target.rkey);
+  DCS_HOT("verbs.home", target.node, 1);
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();
@@ -250,6 +254,7 @@ sim::Task<std::uint64_t> Hca::fetch_and_add(RemoteRegion target,
   ++one_sided_ops_;
   metrics().faa_ops.add();
   DCS_TRACE_SPAN("verbs", "faa", node_, target.rkey);
+  DCS_HOT("verbs.home", target.node, 1);
   co_await check_alive(target.node);
   auto& eng = engine();
   const auto& p = fab_.params();

@@ -133,6 +133,29 @@ class SchemaGateTest(unittest.TestCase):
             benches = bench_compare.load_benches(tmp)
             self.assertEqual(set(benches), {"ok"})
 
+    def test_exemplar_schema_is_noted_and_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            self._write(tmp, "BENCH_exemplars.json",
+                        {"schema": "dcs-exemplar-v1", "series": []})
+            self._write(tmp, "BENCH_ok.json",
+                        {"schema": "dcs-bench-v1", "bench": "ok",
+                         "scenarios": {}})
+            benches = bench_compare.load_benches(tmp)
+            self.assertEqual(set(benches), {"ok"})
+
+    def test_hotset_schema_is_noted_and_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            self._write(tmp, "BENCH_hotset.json",
+                        {"schema": "dcs-hotset-v1", "capacity": 32,
+                         "domains": []})
+            self._write(tmp, "BENCH_ok.json",
+                        {"schema": "dcs-bench-v1", "bench": "ok",
+                         "scenarios": {}})
+            benches = bench_compare.load_benches(tmp)
+            self.assertEqual(set(benches), {"ok"})
+
     def test_sibling_bench_schema_is_skipped_not_fatal(self):
         with tempfile.TemporaryDirectory() as tmp:
             tmp = pathlib.Path(tmp)

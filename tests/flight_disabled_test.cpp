@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "trace/flight.hpp"
+#include "trace/hot.hpp"
 #include "trace/trace.hpp"
 
 namespace dcs::trace {
@@ -28,6 +29,7 @@ TEST(FlightDisabledTest, MacrosCompileToNothingEvenWhenArmed) {
 
   DCS_LOG("test", "op", 1, poison(), poison());
   DCS_TRACE_INSTANT("test", "mark", 1, poison());
+  DCS_HOT("test.object", poison(), poison());
   {
     DCS_TRACE_SPAN("test", "span", 1, poison());
     DCS_TRACE_COST_SPAN(Cost::kNic, "test", "cost", 1, poison());

@@ -238,6 +238,35 @@ TEST(LintRules, R2R4CleanBatchedPath) {
   EXPECT_TRUE(r.active.empty());
 }
 
+TEST(LintRules, R4FlagsRuntimeHotDomains) {
+  // DCS_HOT checks only the domain argument; key and weight are runtime
+  // values by design.
+  auto r = run({{"src/ddss/ddss.cpp",
+                 "void f(std::string layer, std::uint64_t key) {\n"
+                 "  DCS_HOT(layer + \".object\", key, 1);\n"
+                 "  DCS_HOT(domain_for(layer), key, 1);\n"
+                 "}\n"}});
+  EXPECT_EQ(rules_of(r.active), (std::vector<std::string>{"R4", "R4"}));
+}
+
+TEST(LintRules, R4CleanLiteralHotDomains) {
+  auto r = run({{"src/ddss/ddss.cpp",
+                 "void f(std::uint64_t key, std::size_t bytes) {\n"
+                 "  DCS_HOT(\"ddss.object\", key, 1);\n"
+                 "  DCS_HOT(\"verbs\" \".home\", key, bytes);\n"
+                 "}\n"}});
+  EXPECT_TRUE(r.active.empty());
+}
+
+TEST(LintRules, R4HotAllowedWithReason) {
+  auto r = run({{"src/obs/heavy.cpp",
+                 "// dcs-lint: allow(R4, domain table is a fixed per-layer\n"
+                 "// constant array; names are stable per build)\n"
+                 "void f(std::uint64_t k) { DCS_HOT(kDomains[0], k, 1); }\n"}});
+  EXPECT_TRUE(r.active.empty());
+  EXPECT_EQ(rules_of(r.suppressed), (std::vector<std::string>{"R4"}));
+}
+
 TEST(LintRules, R4AllowedWithReason) {
   auto r = run({{"src/verbs/qp.cpp",
                  "// dcs-lint: allow(R4, opcode set is a fixed enum table;\n"

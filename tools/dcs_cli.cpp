@@ -10,6 +10,7 @@
 //   dcs wedge   --scenario stall|deadline|violation --postmortem-dir pm
 //   dcs inspect pm/dcs_wedge_stall.engine-stall.1.postmortem.json --timeline 2
 //   dcs top     TIMESERIES.json [--self-check] [--node N] [--windows W]
+//   dcs explain TIMESERIES.json --hotset HOT.json --exemplars EX.json
 //   dcs flame   TRACE.json [--out profile.speedscope.json]
 //   dcs params
 //
@@ -35,6 +36,7 @@
 #include "harness.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/watchdog.hpp"
+#include "obs/explain.hpp"
 #include "obs/flame.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
@@ -539,6 +541,43 @@ int cmd_top(int argc, char** argv) {
   return obs::run_top(file, opts, std::cout, std::cerr);
 }
 
+int cmd_explain(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: dcs explain TIMESERIES.json [--hotset FILE] "
+                 "[--exemplars FILE] [--postmortem FILE] [--top N] "
+                 "[--self-check]\n");
+    return 2;
+  }
+  const std::string file = argv[2];
+  obs::ExplainOptions opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "explain: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--self-check") {
+      opts.self_check = true;
+    } else if (flag == "--hotset") {
+      opts.hotset = value();
+    } else if (flag == "--exemplars") {
+      opts.exemplars = value();
+    } else if (flag == "--postmortem") {
+      opts.postmortem = value();
+    } else if (flag == "--top") {
+      opts.top = static_cast<std::size_t>(std::stoul(value()));
+    } else {
+      std::fprintf(stderr, "explain: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  return obs::run_explain(file, opts, std::cout, std::cerr);
+}
+
 int cmd_flame(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
@@ -587,10 +626,15 @@ void usage() {
       "  top     FILE [--self-check] [--node N] [--windows W]\n"
       "          cluster health tables + firing alerts from a\n"
       "          dcs-timeseries-v1 dump\n"
+      "  explain FILE [--hotset FILE] [--exemplars FILE]\n"
+      "          [--postmortem FILE] [--top N] [--self-check]\n"
+      "          breach attribution: firing rules -> hot keys ->\n"
+      "          tail exemplars, from the byte-stable dumps\n"
       "  flame   FILE [--out PROFILE.json]\n"
       "          span tree -> speedscope self-time profile from a\n"
       "          --trace-out Chrome trace\n\n"
-      "observability (any command except params/inspect/top/flame):\n"
+      "observability (any command except params/inspect/top/explain/"
+      "flame):\n"
       "  --trace-out FILE      write a Chrome trace_event JSON of the run\n"
       "  --metrics-out FILE    write the metrics registry dump of the run\n"
       "  --critical-path FILE  write the critical-path attribution report\n"
@@ -610,6 +654,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "inspect") return cmd_inspect(argc, argv);
   if (cmd == "top") return cmd_top(argc, argv);
+  if (cmd == "explain") return cmd_explain(argc, argv);
   if (cmd == "flame") return cmd_flame(argc, argv);
   const auto flags = bench::extract_harness_flags(argc, argv);
   const Args args(argc, argv);
